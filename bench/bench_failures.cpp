@@ -1,0 +1,35 @@
+// Extension experiment (Sec. 6 "Scheduling after failures" — the study the
+// paper explicitly leaves to future work): inject machine failures with
+// exponential inter-failure times and measure how finish-time fairness and
+// completion times degrade as machines become less reliable.
+//
+// When a machine fails, every lease on it is revoked; affected jobs restart
+// from checkpoints once the scheduler re-places them, and the machine
+// rejoins after a fixed repair time.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace themis;
+  using namespace themis::bench;
+
+  std::printf("=== Extension: machine failures vs fairness (Themis) ===\n");
+  std::printf("%14s %10s %9s %9s %10s %12s\n", "MTBF(min)", "failures",
+              "max_rho", "med_rho", "avg_ACT", "gpu_time");
+  // MTBF per machine; the 256-GPU cluster has 88 machines and this workload
+  // spans ~550 simulated minutes, so MTBF 1000 min yields a few dozen
+  // failures over the run while 20000 min yields a handful.
+  for (double mtbf : {0.0, 20000.0, 5000.0, 2000.0, 1000.0}) {
+    ExperimentConfig cfg = ContendedSimConfig(PolicyKind::kThemis, 42, 100);
+    cfg.sim.machine_mtbf_minutes = mtbf;
+    cfg.sim.machine_repair_minutes = 60.0;
+    const ExperimentResult r = RunExperiment(cfg);
+    std::printf("%14.0f %10d %9.2f %9.2f %10.1f %12.0f\n", mtbf,
+                r.machine_failures, r.max_fairness, r.median_fairness,
+                r.avg_completion_time, r.gpu_time);
+  }
+  std::printf("\nexpectation: graceful degradation — fairness and ACT worsen"
+              " smoothly as failures become frequent\n");
+  return 0;
+}

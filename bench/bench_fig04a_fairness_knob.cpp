@@ -1,0 +1,39 @@
+// Figure 4a: "Variation of Fairness with f" — min / median / max finish-time
+// fairness across apps as the fairness knob f sweeps [0, 1] on the 256-GPU
+// simulated cluster.
+//
+// Paper shape: max fairness decreases with f (diminishing returns past
+// ~0.8); the min-max spread narrows; the median rises slightly because the
+// objective is min-max, not median.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace themis;
+  using namespace themis::bench;
+
+  std::printf("=== Figure 4a: finish-time fairness vs fairness knob f ===\n");
+  std::printf("(mean of 5 trace seeds, 256-GPU simulated cluster)\n");
+  std::printf("%6s %10s %10s %10s\n", "f", "min_rho", "median_rho", "max_rho");
+  for (double f : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    double mn = 0.0, med = 0.0, mx = 0.0;
+    const int kSeeds = 5;
+    for (std::uint64_t seed = 42; seed < 42 + kSeeds; ++seed) {
+      ExperimentConfig cfg = ContendedSimConfig(PolicyKind::kThemis, seed);
+      cfg.themis.fairness_knob = f;
+      const ExperimentResult r = RunExperiment(cfg);
+      mn += r.min_fairness / kSeeds;
+      med += r.median_fairness / kSeeds;
+      mx += r.max_fairness / kSeeds;
+    }
+    std::printf("%6.1f %10.2f %10.2f %10.2f\n", f, mn, med, mx);
+  }
+  std::printf("\npaper reference: max fairness falls as f grows, spread"
+              " narrows, diminishing returns past f=0.8\n");
+  std::printf("deviation note: our exact product-objective solver plus\n"
+              "work-conserving leftovers track finish-time fairness tightly\n"
+              "at every f, so the f-dependence is flatter than the paper's\n"
+              "(see EXPERIMENTS.md)\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 4b: "Variation of GPU Time with f" — cluster efficiency vs the
+// fairness knob on the 256-GPU simulated cluster.
+//
+// Paper shape: higher f -> fewer apps see each offer -> fewer packing
+// choices -> more GPU time (less efficient use).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace themis;
+  using namespace themis::bench;
+
+  std::printf("=== Figure 4b: GPU time (mins) vs fairness knob f ===\n");
+  std::printf("(mean of 5 trace seeds, 256-GPU simulated cluster)\n");
+  std::printf("%6s %14s\n", "f", "gpu_time");
+  for (double f : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    double gpu = 0.0;
+    const int kSeeds = 5;
+    for (std::uint64_t seed = 42; seed < 42 + kSeeds; ++seed) {
+      ExperimentConfig cfg = ContendedSimConfig(PolicyKind::kThemis, seed);
+      cfg.themis.fairness_knob = f;
+      gpu += RunExperiment(cfg).gpu_time / kSeeds;
+    }
+    std::printf("%6.1f %14.0f\n", f, gpu);
+  }
+  std::printf("\npaper reference: GPU time grows with f (fairness costs"
+              " packing efficiency)\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 8: "Timeline of GPU allocations" — two hand-picked single-task apps
+// whose running times differ 3x with equal placement sensitivity, arriving
+// together at t = 40 on a small cluster, plus later arrivals at t = 60.
+//
+// Paper narrative: the shorter app receives a larger allocation first (tie
+// broken toward short apps at unbounded rho), new arrivals displace both at
+// the next lease expiry, the short app then runs to completion, and finally
+// the long app (least work remaining) finishes — short apps are favored but
+// long apps are not starved.
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "sim/experiment.h"
+
+namespace {
+
+themis::AppSpec OneTaskApp(themis::Time arrival, double work) {
+  using namespace themis;
+  AppSpec app;
+  app.arrival = arrival;
+  app.tuner = TunerKind::kNone;
+  app.target_loss = 0.1;
+  JobSpec job;
+  job.total_work = work;
+  job.total_iterations = 400.0;
+  job.num_tasks = 1;
+  job.gpus_per_task = 2;
+  job.model = ModelByName("VGG16");
+  job.loss = LossCurve(0.1 * std::pow(401.0, 0.6), 0.6, 0.0);
+  app.jobs = {job};
+  return app;
+}
+
+}  // namespace
+
+int main() {
+  using namespace themis;
+
+  // App 0: long (3x work); app 1: short. Both arrive at t = 40.
+  // Apps 2-3 arrive at t = 60 and compete for the 4-GPU cluster.
+  std::vector<AppSpec> apps{OneTaskApp(40.0, 120.0), OneTaskApp(40.0, 40.0),
+                            OneTaskApp(60.0, 60.0), OneTaskApp(60.0, 60.0)};
+
+  ExperimentConfig config;
+  config.cluster = ClusterSpec::Uniform(1, 2, 2, 2);
+  config.policy = PolicyKind::kThemis;
+  config.sim.lease_minutes = 20.0;
+  const ExperimentResult r = RunExperimentWithApps(config, apps);
+
+  std::printf("=== Figure 8: timeline of GPU allocations ===\n");
+  std::printf("%10s %12s %12s %12s %12s\n", "time(min)", "long(app0)",
+              "short(app1)", "app2", "app3");
+  // Collapse timeline samples into rows per pass time.
+  std::map<double, std::map<AppId, int>> rows;
+  for (const AllocationSample& s : r.timeline) rows[s.time][s.app] = s.gpus;
+  for (const auto& [time, held] : rows) {
+    auto get = [&](AppId id) {
+      auto it = held.find(id);
+      return it == held.end() ? 0 : it->second;
+    };
+    std::printf("%10.1f %12d %12d %12d %12d\n", time, get(0), get(1), get(2),
+                get(3));
+  }
+  std::printf("\nfinish times: ");
+  for (std::size_t i = 0; i < r.completion_times.size(); ++i)
+    std::printf("app%zu=%.1f  ", i, 40.0 + (i >= 2 ? 20.0 : 0.0) +
+                                        r.completion_times[i]);
+  std::printf("\npaper reference: short app completes first with a larger"
+              " early share; the long app still finishes (no starvation)\n");
+  return 0;
+}

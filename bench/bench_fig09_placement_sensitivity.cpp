@@ -1,0 +1,51 @@
+// Figure 9: "Impact of placement sensitivity for varying compute-network job
+// distributions" — sweeping the fraction of network-intensive apps from 0%
+// to 100%:
+//   (a) factor of improvement in max fairness of Themis over Tiresias
+//   (b) GPU time for all four schemes.
+//
+// Paper shape: (a) ~1.05x at 0% rising to ~2.1x at 100%; (b) all schemes
+// comparable at 0%, Themis increasingly more efficient as the network-
+// intensive share grows.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace themis;
+  using namespace themis::bench;
+
+  std::printf("=== Figure 9a: Themis max-fairness improvement over Tiresias"
+              " ===\n");
+  std::printf("%18s %12s %12s %10s\n", "%net-intensive", "themis_max",
+              "tiresias_max", "factor");
+  for (double frac : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    auto run = [&](PolicyKind kind) {
+      ExperimentConfig cfg = ContendedSimConfig(kind, 42, 100);
+      cfg.trace.frac_network_intensive = frac;
+      return RunExperiment(cfg);
+    };
+    const ExperimentResult themis = run(PolicyKind::kThemis);
+    const ExperimentResult tiresias = run(PolicyKind::kTiresias);
+    std::printf("%17.0f%% %12.2f %12.2f %10.2f\n", frac * 100.0,
+                themis.max_fairness, tiresias.max_fairness,
+                tiresias.max_fairness / themis.max_fairness);
+  }
+  std::printf("\npaper reference: ~1.05x at 0%% rising to ~2.1x at 100%%\n");
+
+  std::printf("\n=== Figure 9b: GPU time (mins) vs %%network-intensive ===\n");
+  std::printf("%18s %12s %12s %12s %12s\n", "%net-intensive", "Themis",
+              "Gandiva", "SLAQ", "Tiresias");
+  for (double frac : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    std::printf("%17.0f%%", frac * 100.0);
+    for (PolicyKind kind : kAllPolicies) {
+      ExperimentConfig cfg = ContendedSimConfig(kind, 42, 100);
+      cfg.trace.frac_network_intensive = frac;
+      std::printf(" %12.0f", RunExperiment(cfg).gpu_time);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper reference: schemes tie at 0%%; Themis pulls ahead as"
+              " placement matters more\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 11: "Impact of error in bid valuations on max fairness" — bid
+// values perturbed by a relative error sampled uniformly from [-theta,
+// +theta] for theta in {0%, 5%, 10%, 20%}; max fairness is still computed on
+// accurate T_SH / T_ID values.
+//
+// Paper shape: even at theta = 20% the change in max finish-time fairness is
+// not significant.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace themis;
+  using namespace themis::bench;
+
+  std::printf("=== Figure 11: max fairness vs bid valuation error ===\n");
+  std::printf("%10s %10s\n", "theta", "max_rho");
+  for (double theta : {0.0, 0.05, 0.10, 0.20}) {
+    ExperimentConfig cfg = ContendedSimConfig(PolicyKind::kThemis);
+    cfg.sim.estimator.mode =
+        theta > 0.0 ? EstimationMode::kNoisy : EstimationMode::kClairvoyant;
+    cfg.sim.estimator.theta = theta;
+    const ExperimentResult r = RunExperiment(cfg);
+    std::printf("%9.0f%% %10.2f\n", theta * 100.0, r.max_fairness);
+  }
+  std::printf("\npaper reference: max fairness insensitive to up to 20%%"
+              " valuation error\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Motivation experiment (Sec. 2.2): why instantaneous resource fairness is
+// insufficient for ML apps.
+//
+// Runs DRF (instantaneous max-min GPU share, placement-unaware) against
+// THEMIS on workloads that stress the two failure modes Sec. 2.2 names:
+//   1. long gang-scheduled tasks -> arriving apps wait on leases, and DRF's
+//      instant-share view cannot see who is behind on *finish time*
+//   2. placement sensitivity -> equal GPU counts are not equal performance.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace themis;
+  using namespace themis::bench;
+
+  std::printf("=== Motivation (Sec. 2): DRF vs Themis ===\n");
+  std::printf("%-22s %-8s %9s %7s %9s %12s\n", "workload", "scheme", "max_rho",
+              "jain", "avg_ACT", "gpu_time");
+  struct Workload {
+    const char* name;
+    double frac_sensitive;
+  };
+  for (const Workload& w : {Workload{"60:40 mixed (trace)", 0.4},
+                            Workload{"all net-intensive", 1.0}}) {
+    for (PolicyKind kind : {PolicyKind::kDrf, PolicyKind::kThemis}) {
+      double mx = 0, jain = 0, act = 0, gpu = 0;
+      for (std::uint64_t seed : {42ull, 43ull, 44ull}) {
+        ExperimentConfig cfg = ContendedSimConfig(kind, seed, 100);
+        cfg.trace.frac_network_intensive = w.frac_sensitive;
+        const ExperimentResult r = RunExperiment(cfg);
+        mx += r.max_fairness / 3;
+        jain += r.jains_index / 3;
+        act += r.avg_completion_time / 3;
+        gpu += r.gpu_time / 3;
+      }
+      std::printf("%-22s %-8s %9.2f %7.3f %9.1f %12.0f\n", w.name,
+                  ToString(kind), mx, jain, act, gpu);
+    }
+  }
+  std::printf("\npaper reference (qualitative): instantaneous resource\n"
+              "fairness violates sharing incentive for placement-sensitive,\n"
+              "long-task ML apps; finish-time fairness does not\n");
+  return 0;
+}

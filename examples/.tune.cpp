@@ -1,0 +1,23 @@
+#include <cstdio>
+#include "sim/experiment.h"
+using namespace themis;
+int main() {
+  for (double sigma : {0.5, 0.35}) {
+    for (double minlen : {59.0, 80.0}) {
+      for (auto kind : {PolicyKind::kThemis, PolicyKind::kGandiva, PolicyKind::kSlaq, PolicyKind::kTiresias}) {
+        double mx = 0, peak = 0, act = 0, jain = 0;
+        for (std::uint64_t s : {42ull, 43ull, 44ull}) {
+          auto cfg = TestbedScaleConfig(kind, s, 100);
+          cfg.trace.contention_factor = 4.0;
+          cfg.sim.lease_minutes = 5.0;
+          cfg.trace.duration_sigma = sigma;
+          cfg.trace.short_duration_median = minlen;
+          auto r = RunExperiment(cfg);
+          mx += r.max_fairness/3; peak += r.peak_contention/3; act += r.avg_completion_time/3; jain += r.jains_index/3;
+        }
+        std::printf("sigma=%.2f med=%3.0f %-9s max=%7.2f peak=%5.2f jain=%.3f act=%6.1f\n",
+                    sigma, minlen, ToString(kind), mx, peak, jain, act);
+      }
+    }
+  }
+}

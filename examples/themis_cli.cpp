@@ -1,0 +1,136 @@
+// themis_cli — command-line driver for arbitrary experiments.
+//
+//   themis_cli [--policy themis|gandiva|tiresias|slaq|drf]
+//              [--cluster sim256|testbed50|RxMxG (e.g. 2x4x4)]
+//              [--apps N] [--seed S] [--contention C] [--lease MIN]
+//              [--knob F] [--theta T] [--mtbf MIN] [--sensitive FRAC]
+//              [--trace-out FILE] [--trace-in FILE] [--cdf]
+//
+// Generates (or loads) a trace, runs one simulation, prints the Sec. 8.1
+// metric summary, and optionally archives the trace as CSV for later
+// replay (`--trace-out` then `--trace-in` reproduces results exactly).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/stats.h"
+#include "sim/experiment.h"
+#include "workload/trace_io.h"
+
+namespace {
+
+using namespace themis;
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--policy themis|gandiva|tiresias|slaq|drf]\n"
+               "          [--cluster sim256|testbed50|RxMxG] [--apps N]\n"
+               "          [--seed S] [--contention C] [--lease MIN]\n"
+               "          [--knob F] [--theta T] [--mtbf MIN]\n"
+               "          [--sensitive FRAC] [--trace-out FILE]\n"
+               "          [--trace-in FILE] [--cdf]\n",
+               argv0);
+  std::exit(2);
+}
+
+PolicyKind ParsePolicy(const std::string& name) {
+  if (name == "themis") return PolicyKind::kThemis;
+  if (name == "gandiva") return PolicyKind::kGandiva;
+  if (name == "tiresias") return PolicyKind::kTiresias;
+  if (name == "slaq") return PolicyKind::kSlaq;
+  if (name == "drf") return PolicyKind::kDrf;
+  std::fprintf(stderr, "unknown policy: %s\n", name.c_str());
+  std::exit(2);
+}
+
+ClusterSpec ParseCluster(const std::string& name) {
+  if (name == "sim256") return ClusterSpec::Simulation256();
+  if (name == "testbed50") return ClusterSpec::Testbed50();
+  int racks = 0, machines = 0, gpus = 0;
+  if (std::sscanf(name.c_str(), "%dx%dx%d", &racks, &machines, &gpus) == 3 &&
+      racks > 0 && machines > 0 && gpus > 0) {
+    const int slot = (gpus % 2 == 0) ? 2 : 1;
+    return ClusterSpec::Uniform(racks, machines, gpus, slot);
+  }
+  std::fprintf(stderr, "unknown cluster: %s\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentConfig config;
+  config.cluster = ClusterSpec::Simulation256();
+  config.trace.num_apps = 60;
+  std::string trace_in, trace_out;
+  bool print_cdf = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--policy") config.policy = ParsePolicy(next());
+    else if (arg == "--cluster") config.cluster = ParseCluster(next());
+    else if (arg == "--apps") config.trace.num_apps = std::atoi(next().c_str());
+    else if (arg == "--seed") {
+      config.trace.seed = std::strtoull(next().c_str(), nullptr, 10);
+      config.sim.seed = config.trace.seed;
+    } else if (arg == "--contention")
+      config.trace.contention_factor = std::atof(next().c_str());
+    else if (arg == "--lease") config.sim.lease_minutes = std::atof(next().c_str());
+    else if (arg == "--knob")
+      config.themis.fairness_knob = std::atof(next().c_str());
+    else if (arg == "--theta") {
+      config.sim.estimator.theta = std::atof(next().c_str());
+      if (config.sim.estimator.theta > 0.0)
+        config.sim.estimator.mode = EstimationMode::kNoisy;
+    } else if (arg == "--mtbf")
+      config.sim.machine_mtbf_minutes = std::atof(next().c_str());
+    else if (arg == "--sensitive")
+      config.trace.frac_network_intensive = std::atof(next().c_str());
+    else if (arg == "--trace-in") trace_in = next();
+    else if (arg == "--trace-out") trace_out = next();
+    else if (arg == "--cdf") print_cdf = true;
+    else if (arg == "--help" || arg == "-h") Usage(argv[0]);
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage(argv[0]);
+    }
+  }
+
+  std::vector<AppSpec> apps;
+  if (!trace_in.empty()) {
+    apps = ReadTraceCsvFile(trace_in);
+    std::printf("loaded %zu apps from %s\n", apps.size(), trace_in.c_str());
+  } else {
+    TraceGenerator gen(config.trace);
+    apps = gen.Generate();
+  }
+  if (!trace_out.empty()) {
+    WriteTraceCsvFile(trace_out, apps);
+    std::printf("wrote %zu apps to %s\n", apps.size(), trace_out.c_str());
+  }
+
+  const ExperimentResult r = RunExperimentWithApps(config, apps);
+
+  std::printf("policy           : %s\n", r.policy_name.c_str());
+  std::printf("apps finished    : %zu (%d unfinished)\n", r.rhos.size(),
+              r.unfinished_apps);
+  std::printf("peak contention  : %.2f\n", r.peak_contention);
+  std::printf("max fairness     : %.2f\n", r.max_fairness);
+  std::printf("median fairness  : %.2f\n", r.median_fairness);
+  std::printf("Jain's index     : %.3f\n", r.jains_index);
+  std::printf("avg ACT          : %.1f min\n", r.avg_completion_time);
+  std::printf("GPU time         : %.0f GPU-min\n", r.gpu_time);
+  if (r.machine_failures > 0)
+    std::printf("machine failures : %d\n", r.machine_failures);
+  if (print_cdf) {
+    std::printf("\nrho CDF:\n%s", FormatCdf(Cdf(r.rhos), 15).c_str());
+    std::printf("\nACT CDF (min):\n%s",
+                FormatCdf(Cdf(r.completion_times), 15).c_str());
+  }
+  return r.unfinished_apps == 0 ? 0 : 1;
+}

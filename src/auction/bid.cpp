@@ -1,0 +1,45 @@
+#include "auction/bid.h"
+
+#include <algorithm>
+#include <string>
+
+namespace themis {
+
+int BidRow::TotalGpus() const {
+  int total = 0;
+  for (int g : gpus_per_machine) total += g;
+  return total;
+}
+
+bool BidRow::IsZero() const { return TotalGpus() == 0; }
+
+double BidRow::Value() const {
+  // rho is clamped into (0, kUnboundedRho] by the agent; guard anyway.
+  const double r = std::max(1e-9, std::min(rho, kUnboundedRho));
+  return 1.0 / r;
+}
+
+std::string ValidateBid(const BidTable& bid, const std::vector<int>& offered) {
+  if (bid.rows.empty()) return "bid has no rows";
+  if (!bid.rows.front().IsZero()) return "first row must be the zero allocation";
+  for (std::size_t r = 0; r < bid.rows.size(); ++r) {
+    const BidRow& row = bid.rows[r];
+    if (row.gpus_per_machine.size() != offered.size())
+      return "row " + std::to_string(r) + " has wrong dimensionality";
+    for (std::size_t m = 0; m < offered.size(); ++m) {
+      if (row.gpus_per_machine[m] < 0)
+        return "row " + std::to_string(r) + " requests negative GPUs";
+      if (row.gpus_per_machine[m] > offered[m])
+        return "row " + std::to_string(r) + " exceeds the offer on machine " +
+               std::to_string(m);
+    }
+    if (row.rho <= 0.0) return "row " + std::to_string(r) + " has non-positive rho";
+    // More resources can only help: any non-zero row must value at least the
+    // zero row (rho no worse than current).
+    if (row.rho > bid.rows.front().rho + 1e-9)
+      return "row " + std::to_string(r) + " values extra GPUs below current rho";
+  }
+  return "";
+}
+
+}  // namespace themis

@@ -1,0 +1,41 @@
+#include "baselines/drf.h"
+
+#include <algorithm>
+
+namespace themis {
+
+void DrfPolicy::Schedule(const std::vector<GpuId>& free_gpus,
+                         SchedulerContext& ctx) {
+  std::vector<GpuId> free = free_gpus;  // ascending id order
+
+  // Max-min on instantaneous GPU share: one gang at a time to the app with
+  // the smallest current holding (dominant share == GPU share in a
+  // single-resource cluster).
+  while (!free.empty()) {
+    AppState* poorest = nullptr;
+    int poorest_job = -1;
+    for (AppState* app : ctx.apps()) {
+      for (int j : app->ActiveJobs()) {
+        JobState& job = app->jobs[j];
+        if (job.UnmetGangs() <= 0) continue;
+        if (job.spec.gpus_per_task > static_cast<int>(free.size())) continue;
+        if (poorest == nullptr || app->GpusHeld() < poorest->GpusHeld() ||
+            (app->GpusHeld() == poorest->GpusHeld() && app->id < poorest->id)) {
+          poorest = app;
+          poorest_job = j;
+        }
+        break;  // evaluating one eligible job per app suffices for the share
+      }
+    }
+    if (poorest == nullptr) break;
+
+    JobState& job = poorest->jobs[poorest_job];
+    const int gang = job.spec.gpus_per_task;
+    // Placement-unaware: first free GPUs by id.
+    std::vector<GpuId> pick(free.begin(), free.begin() + gang);
+    free.erase(free.begin(), free.begin() + gang);
+    ctx.Grant(*poorest, job, pick);
+  }
+}
+
+}  // namespace themis

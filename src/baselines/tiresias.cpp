@@ -1,0 +1,43 @@
+#include "baselines/tiresias.h"
+
+#include <algorithm>
+
+namespace themis {
+
+void TiresiasPolicy::Schedule(const std::vector<GpuId>& free_gpus,
+                              SchedulerContext& ctx) {
+  std::vector<GpuId> free = free_gpus;  // ascending id order
+
+  // Apps sorted by least attained service (ties: arrival order via AppId).
+  AppList apps = ctx.apps();
+  std::stable_sort(apps.begin(), apps.end(),
+                   [](const AppState* a, const AppState* b) {
+                     if (a->attained_service != b->attained_service)
+                       return a->attained_service < b->attained_service;
+                     return a->id < b->id;
+                   });
+
+  // Round-robin over the LAS order: each pass gives the neediest app one
+  // gang until the pool or all demand is exhausted. Placement-unaware: take
+  // the first free GPUs by id.
+  bool progress = true;
+  while (progress && !free.empty()) {
+    progress = false;
+    for (AppState* app : apps) {
+      for (int j : app->ActiveJobs()) {
+        JobState& job = app->jobs[j];
+        if (job.UnmetGangs() <= 0) continue;
+        const int gang = job.spec.gpus_per_task;
+        if (static_cast<int>(free.size()) < gang) continue;
+        std::vector<GpuId> pick(free.begin(), free.begin() + gang);
+        free.erase(free.begin(), free.begin() + gang);
+        ctx.Grant(*app, job, pick);
+        progress = true;
+        break;  // one gang per app per round
+      }
+      if (free.empty()) break;
+    }
+  }
+}
+
+}  // namespace themis

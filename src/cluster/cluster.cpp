@@ -1,0 +1,102 @@
+#include "cluster/cluster.h"
+
+#include <stdexcept>
+
+namespace themis {
+
+Cluster::Cluster(ClusterSpec spec)
+    : topo_(std::move(spec)),
+      leases_(topo_.num_gpus()),
+      machine_down_(topo_.num_machines(), false) {}
+
+std::vector<GpuId> Cluster::FreeGpus() const {
+  std::vector<GpuId> out;
+  out.reserve(leases_.size());
+  for (GpuId g = 0; g < leases_.size(); ++g)
+    if (!leases_[g] && !machine_down_[topo_.gpu(g).machine]) out.push_back(g);
+  return out;
+}
+
+std::vector<int> Cluster::FreeGpusPerMachine() const {
+  std::vector<int> out(topo_.num_machines(), 0);
+  for (GpuId g = 0; g < leases_.size(); ++g)
+    if (!leases_[g] && !machine_down_[topo_.gpu(g).machine])
+      ++out[topo_.gpu(g).machine];
+  return out;
+}
+
+std::vector<GpuId> Cluster::FreeGpusOnMachine(MachineId m) const {
+  std::vector<GpuId> out;
+  if (machine_down_[m]) return out;
+  for (GpuId g : topo_.machine_gpus(m))
+    if (!leases_[g]) out.push_back(g);
+  return out;
+}
+
+std::vector<GpuId> Cluster::GpusHeldBy(AppId app) const {
+  std::vector<GpuId> out;
+  for (GpuId g = 0; g < leases_.size(); ++g)
+    if (leases_[g] && leases_[g]->app == app) out.push_back(g);
+  return out;
+}
+
+std::vector<GpuId> Cluster::GpusHeldBy(AppId app, JobId job) const {
+  std::vector<GpuId> out;
+  for (GpuId g = 0; g < leases_.size(); ++g)
+    if (leases_[g] && leases_[g]->app == app && leases_[g]->job == job)
+      out.push_back(g);
+  return out;
+}
+
+void Cluster::Allocate(GpuId gpu, AppId app, JobId job, Time expiry) {
+  if (gpu >= leases_.size()) throw std::out_of_range("Allocate: bad GPU id");
+  if (leases_[gpu])
+    throw std::logic_error("Allocate: GPU already leased (double allocation)");
+  if (machine_down_[topo_.gpu(gpu).machine])
+    throw std::logic_error("Allocate: machine is down");
+  leases_[gpu] = Lease{app, job, expiry};
+  ++num_allocated_;
+}
+
+void Cluster::Release(GpuId gpu) {
+  if (gpu >= leases_.size()) throw std::out_of_range("Release: bad GPU id");
+  if (!leases_[gpu]) throw std::logic_error("Release: GPU already free");
+  leases_[gpu].reset();
+  --num_allocated_;
+}
+
+void Cluster::ReleaseAll(AppId app) {
+  for (GpuId g = 0; g < leases_.size(); ++g)
+    if (leases_[g] && leases_[g]->app == app) {
+      leases_[g].reset();
+      --num_allocated_;
+    }
+}
+
+std::vector<GpuId> Cluster::ExpiredGpus(Time now) const {
+  std::vector<GpuId> out;
+  for (GpuId g = 0; g < leases_.size(); ++g)
+    if (leases_[g] && leases_[g]->expiry <= now) out.push_back(g);
+  return out;
+}
+
+void Cluster::Renew(GpuId gpu, Time new_expiry) {
+  if (gpu >= leases_.size() || !leases_[gpu])
+    throw std::logic_error("Renew: GPU not leased");
+  leases_[gpu]->expiry = new_expiry;
+}
+
+void Cluster::SetMachineDown(MachineId machine, bool down) {
+  if (machine >= machine_down_.size())
+    throw std::out_of_range("SetMachineDown: bad machine id");
+  machine_down_[machine] = down;
+}
+
+int Cluster::num_machines_down() const {
+  int n = 0;
+  for (bool d : machine_down_)
+    if (d) ++n;
+  return n;
+}
+
+}  // namespace themis

@@ -1,0 +1,83 @@
+// Mutable cluster state: which app/job owns each GPU and until when.
+//
+// THEMIS associates a lease with every GPU (Sec. 3). An allocation is binding
+// for the lease duration; when the lease expires the GPU returns to the pool
+// the ARBITER auctions off. The Cluster class enforces the single-owner
+// invariant (a GPU is held by at most one app at a time) and provides the
+// free-GPU views the policies consume.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/types.h"
+
+namespace themis {
+
+struct Lease {
+  AppId app = kNoApp;
+  JobId job = kNoJob;
+  Time expiry = 0.0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterSpec spec);
+
+  const Topology& topology() const { return topo_; }
+  int num_gpus() const { return topo_.num_gpus(); }
+  int num_machines() const { return topo_.num_machines(); }
+
+  bool IsFree(GpuId gpu) const { return !leases_[gpu].has_value(); }
+  const std::optional<Lease>& lease(GpuId gpu) const { return leases_[gpu]; }
+
+  /// All currently unallocated GPUs, in ascending GPU-id order.
+  std::vector<GpuId> FreeGpus() const;
+
+  /// Free GPU count per machine; index = MachineId. This is the resource
+  /// vector R-> the ARBITER offers in auctions (one dimension per machine).
+  std::vector<int> FreeGpusPerMachine() const;
+
+  /// Free GPUs hosted by one machine.
+  std::vector<GpuId> FreeGpusOnMachine(MachineId m) const;
+
+  /// GPUs currently held by an app (optionally restricted to one job).
+  std::vector<GpuId> GpusHeldBy(AppId app) const;
+  std::vector<GpuId> GpusHeldBy(AppId app, JobId job) const;
+
+  /// Grant `gpu` to (app, job) until `expiry`. Throws if the GPU is taken.
+  void Allocate(GpuId gpu, AppId app, JobId job, Time expiry);
+
+  /// Release a GPU back to the free pool. Throws if it was already free.
+  void Release(GpuId gpu);
+
+  /// Release every GPU held by the app (e.g., app finished).
+  void ReleaseAll(AppId app);
+
+  /// GPUs whose lease expired at or before `now`. Does not release them;
+  /// the simulator decides when reclaimed GPUs enter an auction.
+  std::vector<GpuId> ExpiredGpus(Time now) const;
+
+  /// Extend the lease on a GPU already held by `app` (lease renewal when an
+  /// app wins back its own GPUs).
+  void Renew(GpuId gpu, Time new_expiry);
+
+  /// Failure-domain support (Sec. 6 "Scheduling after failures"): a machine
+  /// marked down contributes no free GPUs and rejects allocations. Releasing
+  /// the GPUs an app held on the failed machine is the simulator's job.
+  void SetMachineDown(MachineId machine, bool down);
+  bool IsMachineDown(MachineId machine) const { return machine_down_[machine]; }
+  int num_machines_down() const;
+
+  int num_allocated() const { return num_allocated_; }
+  int num_free() const { return num_gpus() - num_allocated_; }
+
+ private:
+  Topology topo_;
+  std::vector<std::optional<Lease>> leases_;
+  std::vector<bool> machine_down_;
+  int num_allocated_ = 0;
+};
+
+}  // namespace themis

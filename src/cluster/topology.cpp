@@ -1,0 +1,133 @@
+#include "cluster/topology.h"
+
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace themis {
+
+const char* ToString(LocalityLevel level) {
+  switch (level) {
+    case LocalityLevel::kSlot: return "slot";
+    case LocalityLevel::kMachine: return "machine";
+    case LocalityLevel::kRack: return "rack";
+    case LocalityLevel::kCrossRack: return "cross-rack";
+  }
+  return "?";
+}
+
+int ClusterSpec::TotalGpus() const {
+  int total = 0;
+  for (const auto& rack : racks)
+    for (const auto& m : rack.machines) total += m.num_gpus;
+  return total;
+}
+
+int ClusterSpec::TotalMachines() const {
+  int total = 0;
+  for (const auto& rack : racks) total += static_cast<int>(rack.machines.size());
+  return total;
+}
+
+ClusterSpec ClusterSpec::Simulation256() {
+  // 4 racks; each rack hosts 12x 4-GPU machines (NVLink pairs), 6x 2-GPU
+  // machines and 4x 1-GPU machines: 4 * (48 + 12 + 4) = 256 GPUs.
+  ClusterSpec spec;
+  for (int r = 0; r < 4; ++r) {
+    RackSpec rack;
+    for (int i = 0; i < 12; ++i) rack.machines.push_back({4, 2});
+    for (int i = 0; i < 6; ++i) rack.machines.push_back({2, 2});
+    for (int i = 0; i < 4; ++i) rack.machines.push_back({1, 1});
+    spec.racks.push_back(std::move(rack));
+  }
+  return spec;
+}
+
+ClusterSpec ClusterSpec::Testbed50() {
+  // 50 GPUs across 20 instances with 1/2/4 GPUs each, mirroring the paper's
+  // NC/NV-series Azure mixture, spread over two racks:
+  //   rack A: 7x 4-GPU + 4x 2-GPU + 2x 1-GPU = 38 GPUs, 13 instances
+  //   rack B: 2x 4-GPU + 1x 2-GPU + 2x 1-GPU = 12 GPUs,  5 instances
+  // plus 2 more 1-GPU boxes on rack B -> 50 GPUs... keep arithmetic explicit:
+  //   rack A: 7*4 + 4*2 + 2*1 = 38; rack B: 2*4 + 1*2 + 2*1 = 12; total 50.
+  ClusterSpec spec;
+  RackSpec a;
+  for (int i = 0; i < 7; ++i) a.machines.push_back({4, 2});
+  for (int i = 0; i < 4; ++i) a.machines.push_back({2, 2});
+  for (int i = 0; i < 2; ++i) a.machines.push_back({1, 1});
+  RackSpec b;
+  for (int i = 0; i < 2; ++i) b.machines.push_back({4, 2});
+  for (int i = 0; i < 1; ++i) b.machines.push_back({2, 2});
+  for (int i = 0; i < 2; ++i) b.machines.push_back({1, 1});
+  spec.racks.push_back(std::move(a));
+  spec.racks.push_back(std::move(b));
+  return spec;
+}
+
+ClusterSpec ClusterSpec::Uniform(int racks, int machines_per_rack,
+                                 int gpus_per_machine, int gpus_per_slot) {
+  ClusterSpec spec;
+  for (int r = 0; r < racks; ++r) {
+    RackSpec rack;
+    for (int m = 0; m < machines_per_rack; ++m)
+      rack.machines.push_back({gpus_per_machine, gpus_per_slot});
+    spec.racks.push_back(std::move(rack));
+  }
+  return spec;
+}
+
+Topology::Topology(ClusterSpec spec) : spec_(std::move(spec)) {
+  GpuId next_gpu = 0;
+  MachineId next_machine = 0;
+  for (RackId r = 0; r < spec_.racks.size(); ++r) {
+    for (const MachineSpec& m : spec_.racks[r].machines) {
+      if (m.num_gpus <= 0)
+        throw std::invalid_argument("machine with non-positive GPU count");
+      if (m.gpus_per_slot <= 0 || m.num_gpus % m.gpus_per_slot != 0)
+        throw std::invalid_argument("num_gpus must be a multiple of gpus_per_slot");
+      machine_racks_.push_back(r);
+      machine_gpu_counts_.push_back(m.num_gpus);
+      std::vector<GpuId> ids;
+      for (int g = 0; g < m.num_gpus; ++g) {
+        GpuCoord coord;
+        coord.gpu = next_gpu;
+        coord.machine = next_machine;
+        coord.rack = r;
+        coord.slot = g / m.gpus_per_slot;
+        coord.index_in_slot = g % m.gpus_per_slot;
+        gpus_.push_back(coord);
+        ids.push_back(next_gpu);
+        ++next_gpu;
+      }
+      machine_gpu_ids_.push_back(std::move(ids));
+      ++next_machine;
+    }
+  }
+}
+
+LocalityLevel Topology::SpanLevel(const std::vector<GpuId>& gpus) const {
+  if (gpus.size() <= 1) return LocalityLevel::kSlot;
+  const GpuCoord& first = gpu(gpus.front());
+  bool same_slot = true;
+  bool same_machine = true;
+  bool same_rack = true;
+  for (GpuId id : gpus) {
+    const GpuCoord& c = gpu(id);
+    if (c.machine != first.machine) same_machine = false;
+    if (c.machine != first.machine || c.slot != first.slot) same_slot = false;
+    if (c.rack != first.rack) same_rack = false;
+  }
+  if (same_slot) return LocalityLevel::kSlot;
+  if (same_machine) return LocalityLevel::kMachine;
+  if (same_rack) return LocalityLevel::kRack;
+  return LocalityLevel::kCrossRack;
+}
+
+std::string Topology::Describe() const {
+  std::ostringstream os;
+  os << num_racks() << " racks, " << num_machines() << " machines, "
+     << num_gpus() << " GPUs";
+  return os.str();
+}
+
+}  // namespace themis

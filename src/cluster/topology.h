@@ -1,0 +1,96 @@
+// Cluster topology description: racks contain machines, machines contain
+// slots (an NVLink island of GPUs), slots contain GPUs. This hierarchy gives
+// the four locality levels the paper's placement score uses (Sec. 8.1):
+// slot (NVLink), machine (PCIe), rack, and cross-rack.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace themis {
+
+/// Relative placement of a set of GPUs, ordered best to worst. Matches the
+/// paper's 4-level placement scoring scheme.
+enum class LocalityLevel : int {
+  kSlot = 0,       // all GPUs share an NVLink slot
+  kMachine = 1,    // all GPUs in one machine, across slots (PCIe)
+  kRack = 2,       // all GPUs in one rack, across machines
+  kCrossRack = 3,  // GPUs span racks
+};
+
+const char* ToString(LocalityLevel level);
+
+struct MachineSpec {
+  int num_gpus = 4;
+  /// GPUs per NVLink slot; num_gpus must be a multiple of this.
+  int gpus_per_slot = 2;
+};
+
+struct RackSpec {
+  std::vector<MachineSpec> machines;
+};
+
+struct ClusterSpec {
+  std::vector<RackSpec> racks;
+
+  int TotalGpus() const;
+  int TotalMachines() const;
+
+  /// The heterogeneous 256-GPU simulation cluster from Sec. 8.1: a mixture
+  /// of 4-GPU, 2-GPU and 1-GPU machines spread across multiple racks.
+  static ClusterSpec Simulation256();
+
+  /// The 50-GPU Azure testbed from Sec. 8.1: 20 instances with 1/2/4 GPUs
+  /// (NC- and NV-series).
+  static ClusterSpec Testbed50();
+
+  /// Uniform cluster helper used by tests and microbenchmarks.
+  static ClusterSpec Uniform(int racks, int machines_per_rack, int gpus_per_machine,
+                             int gpus_per_slot);
+};
+
+/// Fully resolved coordinates of a single GPU.
+struct GpuCoord {
+  GpuId gpu = 0;          // global GPU index
+  MachineId machine = 0;  // global machine index
+  RackId rack = 0;
+  int slot = 0;             // slot index within the machine
+  int index_in_slot = 0;    // GPU index within its slot
+};
+
+/// Immutable index over a ClusterSpec: resolves GPU/machine coordinates and
+/// answers locality queries. Built once per simulation.
+class Topology {
+ public:
+  explicit Topology(ClusterSpec spec);
+
+  const ClusterSpec& spec() const { return spec_; }
+  int num_gpus() const { return static_cast<int>(gpus_.size()); }
+  int num_machines() const { return static_cast<int>(machine_racks_.size()); }
+  int num_racks() const { return static_cast<int>(spec_.racks.size()); }
+
+  const GpuCoord& gpu(GpuId id) const { return gpus_.at(id); }
+  RackId rack_of_machine(MachineId m) const { return machine_racks_.at(m); }
+  int gpus_on_machine(MachineId m) const { return machine_gpu_counts_.at(m); }
+  /// Global GPU ids hosted by a machine (contiguous by construction).
+  const std::vector<GpuId>& machine_gpus(MachineId m) const {
+    return machine_gpu_ids_.at(m);
+  }
+
+  /// Tightest locality level spanned by a set of GPUs. A singleton (or empty)
+  /// set is kSlot: it cannot span any boundary.
+  LocalityLevel SpanLevel(const std::vector<GpuId>& gpus) const;
+
+  std::string Describe() const;
+
+ private:
+  ClusterSpec spec_;
+  std::vector<GpuCoord> gpus_;
+  std::vector<RackId> machine_racks_;
+  std::vector<int> machine_gpu_counts_;
+  std::vector<std::vector<GpuId>> machine_gpu_ids_;
+};
+
+}  // namespace themis

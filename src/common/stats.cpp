@@ -1,0 +1,77 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace themis {
+
+double JainsIndex(std::span<const double> values) {
+  if (values.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) throw std::invalid_argument("Percentile: empty input");
+  std::sort(values.begin(), values.end());
+  if (p <= 0.0) return values.front();
+  if (p >= 100.0) return values.back();
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+std::vector<CdfPoint> Cdf(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  std::vector<CdfPoint> out;
+  out.reserve(values.size());
+  const double n = static_cast<double>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out.push_back({values[i], static_cast<double>(i + 1) / n});
+  }
+  return out;
+}
+
+std::string FormatCdf(const std::vector<CdfPoint>& cdf, std::size_t max_rows) {
+  std::string out;
+  if (cdf.empty()) return out;
+  const std::size_t n = cdf.size();
+  const std::size_t rows = std::min(max_rows, n);
+  char buf[64];
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t idx = (rows == 1) ? n - 1 : r * (n - 1) / (rows - 1);
+    std::snprintf(buf, sizeof(buf), "%12.2f  %6.3f\n", cdf[idx].value,
+                  cdf[idx].fraction);
+    out += buf;
+  }
+  return out;
+}
+
+void Summary::Add(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  sum_ += v;
+  ++count_;
+}
+
+double Summary::min() const { return count_ ? min_ : 0.0; }
+double Summary::max() const { return count_ ? max_ : 0.0; }
+double Summary::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+}  // namespace themis

@@ -1,0 +1,49 @@
+// Small statistics toolkit used by metrics collection and the benchmark
+// harness: percentiles, CDF extraction, Jain's fairness index, and a
+// streaming summary accumulator.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace themis {
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2). Returns 1.0 for an
+/// empty or perfectly uniform sample; always in (0, 1].
+double JainsIndex(std::span<const double> values);
+
+/// Linear-interpolation percentile; p in [0, 100]. Requires non-empty input.
+double Percentile(std::vector<double> values, double p);
+
+/// A (value, cumulative-fraction) staircase suitable for printing the CDF
+/// figures the paper reports (Figs. 1, 6, 7).
+struct CdfPoint {
+  double value;
+  double fraction;
+};
+std::vector<CdfPoint> Cdf(std::vector<double> values);
+
+/// Render a CDF as fixed-width rows, optionally downsampled to at most
+/// `max_rows` evenly spaced points so bench output stays readable.
+std::string FormatCdf(const std::vector<CdfPoint>& cdf, std::size_t max_rows = 20);
+
+/// Streaming min/max/mean/count accumulator.
+class Summary {
+ public:
+  void Add(double v);
+  std::size_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace themis

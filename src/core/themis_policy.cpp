@@ -1,0 +1,185 @@
+#include "core/themis_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace themis {
+
+ThemisPolicy::ThemisPolicy(ThemisConfig config) : config_(config) {}
+
+void ThemisPolicy::Schedule(const std::vector<GpuId>& free_gpus,
+                            SchedulerContext& ctx) {
+  Agent agent(&ctx.topology(), &ctx.estimator(), ctx.now());
+
+  // Step 1: probe every active app for rho (Fig. 3, step 1).
+  std::vector<AppState*> candidates;
+  for (AppState* app : ctx.apps()) {
+    app->last_rho = agent.CurrentRho(*app);
+    if (app->UnmetDemand() > 0) candidates.push_back(app);
+  }
+  if (candidates.empty()) return;
+
+  // Step 2: sort by rho descending (worst-off first) and offer to the top
+  // 1-f fraction; always at least one app so the pass is work conserving.
+  const bool short_first = config_.short_app_tiebreak;
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [short_first](const AppState* a, const AppState* b) {
+                     if (a->last_rho != b->last_rho)
+                       return a->last_rho > b->last_rho;
+                     // Sec. 8.3.1 / Fig. 8: "we break ties in favor of
+                     // shorter apps" — equal (often unbounded) rho goes to
+                     // the app with the smaller ideal running time.
+                     if (short_first && a->ideal_time != b->ideal_time)
+                       return a->ideal_time < b->ideal_time;
+                     return a->id < b->id;  // deterministic final tie-break
+                   });
+  const int n_offer = std::max(
+      1, static_cast<int>(std::ceil((1.0 - config_.fairness_knob) *
+                                    static_cast<double>(candidates.size()))));
+  std::vector<AppState*> participants(
+      candidates.begin(),
+      candidates.begin() + std::min<std::size_t>(n_offer, candidates.size()));
+
+  // Step 3: collect bids.
+  std::vector<int> offered(ctx.topology().num_machines(), 0);
+  for (GpuId g : free_gpus) ++offered[ctx.topology().gpu(g).machine];
+
+  std::vector<AgentBid> bids;
+  std::vector<BidTable> tables;
+  bids.reserve(participants.size());
+  for (AppState* app : participants) {
+    bids.push_back(agent.PrepareBid(*app, free_gpus, config_.max_bid_rows));
+    tables.push_back(bids.back().table);
+  }
+
+  // Step 4: partial allocation with hidden payments.
+  const PaResult pa = PartialAllocation(tables, offered, config_.pa);
+  ++auctions_;
+  offered_gpus_ += static_cast<int>(free_gpus.size());
+
+  // Step 5: materialize grants. Each winner receives granted[m] GPUs on
+  // machine m, preferring the concrete GPUs its own bid row picked. Bids
+  // were prepared independently, so two rows may name the same GPU id even
+  // though the per-machine *counts* fit the offer; a shared free-set keeps
+  // materialization conflict-free.
+  std::vector<bool> still_free(ctx.topology().num_gpus(), false);
+  for (GpuId g : free_gpus) still_free[g] = true;
+
+  for (std::size_t i = 0; i < pa.winners.size(); ++i) {
+    const PaWinner& w = pa.winners[i];
+    if (w.row == 0) continue;  // zero row: no new allocation this round
+    AppState* app = participants[i];
+
+    std::map<MachineId, std::vector<GpuId>> preferred;
+    for (GpuId g : bids[i].row_gpus[w.row])
+      preferred[ctx.topology().gpu(g).machine].push_back(g);
+
+    std::vector<GpuId> concrete;
+    for (MachineId m = 0; m < static_cast<MachineId>(w.granted.size()); ++m) {
+      int need = w.granted[m];
+      if (need <= 0) continue;
+      auto take = [&](GpuId g) {
+        if (need > 0 && still_free[g]) {
+          still_free[g] = false;
+          concrete.push_back(g);
+          --need;
+        }
+      };
+      if (auto it = preferred.find(m); it != preferred.end())
+        for (GpuId g : it->second) take(g);
+      for (GpuId g : ctx.topology().machine_gpus(m)) {
+        if (need == 0) break;
+        if (ctx.cluster().IsFree(g)) take(g);
+      }
+    }
+    for (const JobAssignment& a : agent.DistributeToJobs(*app, concrete)) {
+      ctx.Grant(*app, app->jobs[a.job_index], a.gpus);
+    }
+    // GPUs Distribute left unassigned (no whole gang) return to the pool.
+    for (GpuId g : concrete)
+      if (ctx.cluster().IsFree(g)) still_free[g] = true;
+  }
+
+  // Step 6: leftover allocation (work conserving).
+  AllocateLeftovers(ctx, agent, participants);
+  leftover_gpus_ += ctx.cluster().num_free();
+}
+
+void ThemisPolicy::AllocateLeftovers(
+    SchedulerContext& ctx, const Agent& agent,
+    const std::vector<AppState*>& participants) {
+  auto is_participant = [&](const AppState* app) {
+    return std::find(participants.begin(), participants.end(), app) !=
+           participants.end();
+  };
+
+  // Two rounds: first apps that did not participate in the auction (the
+  // paper's rule — they cannot game leftovers), then, purely for work
+  // conservation, anyone with unmet demand.
+  for (const bool outsiders_only : {true, false}) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      std::vector<GpuId> free = ctx.cluster().FreeGpus();
+      if (free.empty()) return;
+
+      // Candidates that can absorb at least one whole gang.
+      std::vector<AppState*> candidates;
+      for (AppState* app : ctx.apps()) {
+        if (outsiders_only && is_participant(app)) continue;
+        if (app->UnmetDemand() <= 0) continue;
+        for (int j : app->ActiveJobs()) {
+          const JobState& job = app->jobs[j];
+          if (job.UnmetGangs() > 0 &&
+              job.spec.gpus_per_task <= static_cast<int>(free.size())) {
+            candidates.push_back(app);
+            break;
+          }
+        }
+      }
+      if (candidates.empty()) break;
+
+      // Paper: "when many such candidate apps exist for a GPU, one of the
+      // apps is picked at random"; prefer apps already placed on machines
+      // with free GPUs.
+      std::vector<AppState*> anchored;
+      for (AppState* app : candidates) {
+        std::vector<bool> app_machines(ctx.topology().num_machines(), false);
+        for (const JobState& job : app->jobs)
+          for (GpuId g : job.gpus) app_machines[ctx.topology().gpu(g).machine] = true;
+        for (GpuId g : free)
+          if (app_machines[ctx.topology().gpu(g).machine]) {
+            anchored.push_back(app);
+            break;
+          }
+      }
+      auto& pick_from = anchored.empty() ? candidates : anchored;
+      AppState* app = pick_from[ctx.rng().UniformInt(
+          0, static_cast<int>(pick_from.size()) - 1)];
+
+      // Give its highest-priority job one gang, placed near its gang.
+      for (int j : agent.JobPriorityOrder(*app)) {
+        JobState& job = app->jobs[j];
+        if (job.UnmetGangs() <= 0) continue;
+        const int gang = job.spec.gpus_per_task;
+        std::vector<GpuId> picked =
+            PickBestPlacedNear(gang, free, job.gpus, ctx.topology());
+        if (static_cast<int>(picked.size()) < gang) continue;
+        // Respect placement constraints: a gang the job cannot run on
+        // (S = 0) would hold the lease without making progress.
+        std::vector<GpuId> combined = job.gpus;
+        combined.insert(combined.end(), picked.begin(), picked.end());
+        combined.resize(combined.size() - combined.size() % gang);
+        if (combined.empty() ||
+            EffectiveJobRate(job.spec, combined, ctx.topology()) <= 0.0)
+          continue;
+        ctx.Grant(*app, job, picked);
+        progress = true;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace themis

@@ -1,0 +1,62 @@
+// The THEMIS ARBITER — Pseudocode 1 of the paper.
+//
+// On every scheduling pass with free GPUs:
+//   1. probe all active apps' AGENTs for their current rho,
+//   2. offer the free pool to the worst-off 1-f fraction (the fairness knob
+//      f trades finish-time fairness for placement efficiency, Sec. 8.2),
+//   3. collect one valuation-table bid per offered app,
+//   4. run the Partial Allocation mechanism to pick winning rows and apply
+//      hidden payments,
+//   5. hand each winner its (scaled) bundle, letting the app's own scheduler
+//      spread it over constituent jobs, and
+//   6. assign leftover GPUs work-conservingly to apps outside the auction,
+//      one gang at a time, preferring machines those apps already occupy
+//      (Sec. 5.1 "Leftover Allocation").
+#pragma once
+
+#include <memory>
+
+#include "auction/partial_allocation.h"
+#include "core/agent.h"
+#include "sim/policy.h"
+
+namespace themis {
+
+struct ThemisConfig {
+  /// Fairness knob f in [0, 1]: the free pool is offered to the 1-f fraction
+  /// of apps with the worst rho. Paper default 0.8 (Sec. 8.2).
+  double fairness_knob = 0.8;
+  /// Max non-zero rows per bid table.
+  int max_bid_rows = 6;
+  /// Ablation switch for the Sec. 8.3.1 / Fig. 8 behaviour: break equal-rho
+  /// ties toward apps with smaller ideal running time ("we break ties in
+  /// favor of shorter apps"). When false, ties fall back to app id.
+  bool short_app_tiebreak = true;
+  PaConfig pa;
+};
+
+class ThemisPolicy final : public ISchedulerPolicy {
+ public:
+  explicit ThemisPolicy(ThemisConfig config = {});
+
+  void Schedule(const std::vector<GpuId>& free_gpus,
+                SchedulerContext& ctx) override;
+  const char* name() const override { return "Themis"; }
+
+  /// Diagnostics for the overhead benchmark and tests.
+  int auctions_run() const { return auctions_; }
+  int total_leftover_gpus() const { return leftover_gpus_; }
+  int total_offered_gpus() const { return offered_gpus_; }
+
+ private:
+  /// Stage 6: hand out whatever is still free after the auction.
+  void AllocateLeftovers(SchedulerContext& ctx, const Agent& agent,
+                         const std::vector<AppState*>& participants);
+
+  ThemisConfig config_;
+  int auctions_ = 0;
+  int leftover_gpus_ = 0;
+  int offered_gpus_ = 0;
+};
+
+}  // namespace themis

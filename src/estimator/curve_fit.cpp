@@ -1,0 +1,61 @@
+#include "estimator/curve_fit.h"
+
+#include <cmath>
+
+namespace themis {
+
+std::optional<PowerLawFit> FitPowerLaw(const std::vector<LossSample>& samples,
+                                       double floor) {
+  // log(loss - floor) = log(scale) - decay * log(i + 1): ordinary least
+  // squares with x = log(i + 1), y = log(loss - floor).
+  std::vector<double> xs, ys;
+  xs.reserve(samples.size());
+  ys.reserve(samples.size());
+  for (const LossSample& s : samples) {
+    if (s.iteration < 0.0 || s.loss <= floor) continue;
+    xs.push_back(std::log(s.iteration + 1.0));
+    ys.push_back(std::log(s.loss - floor));
+  }
+  const std::size_t n = xs.size();
+  if (n < 2) return std::nullopt;
+
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return std::nullopt;  // all iterations equal
+
+  const double slope = (dn * sxy - sx * sy) / denom;
+  const double intercept = (sy - slope * sx) / dn;
+  const double decay = -slope;
+  if (!(decay > 0.0)) return std::nullopt;  // non-converging fit
+
+  double ss_res = 0, ss_tot = 0;
+  const double mean_y = sy / dn;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pred = intercept + slope * xs[i];
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - mean_y) * (ys[i] - mean_y);
+  }
+  PowerLawFit fit;
+  fit.curve = LossCurve(std::exp(intercept), decay, floor);
+  fit.r_squared = (ss_tot <= 1e-12) ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+std::optional<double> PredictIterationsToTarget(
+    const std::vector<LossSample>& samples, double target_loss, double floor) {
+  auto fit = FitPowerLaw(samples, floor);
+  if (!fit) return std::nullopt;
+  const double iters = fit->curve.IterationsToTarget(target_loss);
+  if (!std::isfinite(iters)) return std::nullopt;
+  return iters;
+}
+
+}  // namespace themis

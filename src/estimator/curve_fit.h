@@ -1,0 +1,41 @@
+// Loss-curve fitting (Sec. 7: "Loss values are used ... to find a best-fit
+// sub-linear or super-linear curve and thus estimate the amount of work left
+// per-job to reach target accuracy").
+//
+// We fit loss(i) = scale * (i + 1)^(-decay) by least squares in log-log
+// space, which is exactly linear regression of log(loss - floor) on
+// log(i + 1). The fitter powers the non-clairvoyant estimation mode and the
+// HyperDrive good/promising/poor classifier.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "workload/loss_curve.h"
+
+namespace themis {
+
+struct LossSample {
+  double iteration;
+  double loss;
+};
+
+struct PowerLawFit {
+  LossCurve curve;
+  /// Coefficient of determination of the log-space regression, in [0, 1].
+  double r_squared = 0.0;
+};
+
+/// Fit a power-law loss curve to observed samples, assuming a known floor
+/// (default 0). Requires >= 2 samples with distinct iterations and losses
+/// strictly above the floor; returns nullopt otherwise.
+std::optional<PowerLawFit> FitPowerLaw(const std::vector<LossSample>& samples,
+                                       double floor = 0.0);
+
+/// Convenience: predicted iterations until `target_loss` given samples, or
+/// nullopt if the fit fails or the target is unreachable.
+std::optional<double> PredictIterationsToTarget(
+    const std::vector<LossSample>& samples, double target_loss,
+    double floor = 0.0);
+
+}  // namespace themis

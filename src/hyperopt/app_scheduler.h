@@ -1,0 +1,55 @@
+// Top-level (per-app) scheduler interface (Sec. 2.3, Sec. 5.2).
+//
+// THEMIS is a two-level design: the bottom-level ARBITER apportions GPUs
+// across apps, while each app's own hyper-parameter tuning framework decides
+// how to spread its share across constituent jobs — killing unpromising ones
+// and adjusting per-job maximum parallelism (G_ideal). This header is the
+// "narrow API" between the two levels: the tuner observes job progress and
+// emits kill decisions plus parallelism caps; the AGENT pulls work-left and
+// parallelism estimates from it when preparing bids.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "workload/job_spec.h"
+
+namespace themis {
+
+/// Read-only view of one constituent job's progress, as the app scheduler
+/// (and the profiler behind it) observes it.
+struct JobView {
+  const JobSpec* spec = nullptr;
+  double done_iterations = 0.0;
+  bool alive = true;
+  bool finished = false;
+};
+
+struct TunerDecision {
+  /// Indices (into the JobView vector) of jobs to terminate early.
+  std::vector<int> kill;
+  /// Per-job maximum parallelism override (G_ideal); same length as the
+  /// JobView vector, entries <= spec->MaxParallelism(). Dead jobs hold 0.
+  std::vector<int> parallelism_cap;
+};
+
+class IAppScheduler {
+ public:
+  virtual ~IAppScheduler() = default;
+
+  /// Called once when the app starts.
+  virtual void Init(const AppSpec& app) = 0;
+
+  /// Observe progress and emit decisions. Invoked by the simulator at every
+  /// auction epoch (the cadence at which checkpointed loss values would be
+  /// re-read from logs in the paper's profiler).
+  virtual TunerDecision Step(const std::vector<JobView>& jobs, Time now) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Factory keyed by AppSpec::tuner.
+std::unique_ptr<IAppScheduler> MakeAppScheduler(const AppSpec& app);
+
+}  // namespace themis

@@ -1,0 +1,39 @@
+#include "hyperopt/app_scheduler.h"
+#include "hyperopt/hyperband.h"
+#include "hyperopt/hyperdrive.h"
+
+namespace themis {
+
+namespace {
+
+/// Trivial tuner for single-job apps (TunerKind::kNone): no kills, full
+/// parallelism for the lone job.
+class SingleJobScheduler final : public IAppScheduler {
+ public:
+  void Init(const AppSpec& /*app*/) override {}
+  TunerDecision Step(const std::vector<JobView>& jobs, Time /*now*/) override {
+    TunerDecision d;
+    d.parallelism_cap.resize(jobs.size(), 0);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      if (jobs[i].alive && !jobs[i].finished)
+        d.parallelism_cap[i] = jobs[i].spec->MaxParallelism();
+    return d;
+  }
+  const char* name() const override { return "SingleJob"; }
+};
+
+}  // namespace
+
+std::unique_ptr<IAppScheduler> MakeAppScheduler(const AppSpec& app) {
+  switch (app.tuner) {
+    case TunerKind::kNone:
+      return std::make_unique<SingleJobScheduler>();
+    case TunerKind::kHyperBand:
+      return std::make_unique<HyperBand>();
+    case TunerKind::kHyperDrive:
+      return std::make_unique<HyperDrive>();
+  }
+  return std::make_unique<SingleJobScheduler>();
+}
+
+}  // namespace themis

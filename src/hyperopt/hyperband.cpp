@@ -1,0 +1,69 @@
+#include "hyperopt/hyperband.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace themis {
+
+HyperBand::HyperBand(HyperBandConfig config) : config_(config) {}
+
+void HyperBand::Init(const AppSpec& app) {
+  rung_ = 0;
+  if (config_.base_iterations > 0.0) {
+    base_ = config_.base_iterations;
+    return;
+  }
+  double min_iters = std::numeric_limits<double>::infinity();
+  for (const JobSpec& j : app.jobs) min_iters = std::min(min_iters, j.total_iterations);
+  base_ = std::max(1.0, min_iters / 16.0);
+}
+
+double HyperBand::RungBudget(int rung) const {
+  return base_ * std::pow(config_.eta, rung);
+}
+
+TunerDecision HyperBand::Step(const std::vector<JobView>& jobs, Time /*now*/) {
+  TunerDecision decision;
+  decision.parallelism_cap.resize(jobs.size(), 0);
+
+  // Equal priority: every alive job may use its full parallelism (Sec. 5.2:
+  // "user-configured equal priority i.e. equal G_ideal").
+  std::vector<int> alive;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].alive && !jobs[i].finished) {
+      decision.parallelism_cap[i] = jobs[i].spec->MaxParallelism();
+      alive.push_back(static_cast<int>(i));
+    }
+  }
+  if (alive.size() <= 1) return decision;
+
+  // Advance through any rungs whose budget every alive job has met.
+  while (alive.size() > 1) {
+    const double budget = RungBudget(rung_);
+    bool all_reached = true;
+    for (int i : alive)
+      if (jobs[i].done_iterations < budget) {
+        all_reached = false;
+        break;
+      }
+    if (!all_reached) break;
+
+    // Rank by loss at the rung budget; kill the worse half (rounded down so
+    // at least one job always survives).
+    std::vector<int> ranked = alive;
+    std::stable_sort(ranked.begin(), ranked.end(), [&](int a, int b) {
+      return jobs[a].spec->loss.LossAt(budget) < jobs[b].spec->loss.LossAt(budget);
+    });
+    const std::size_t keep = (ranked.size() + 1) / 2;
+    for (std::size_t k = keep; k < ranked.size(); ++k) {
+      decision.kill.push_back(ranked[k]);
+      decision.parallelism_cap[ranked[k]] = 0;
+    }
+    alive.assign(ranked.begin(), ranked.begin() + static_cast<long>(keep));
+    ++rung_;
+  }
+  return decision;
+}
+
+}  // namespace themis

@@ -1,0 +1,41 @@
+// HyperBand app scheduler (Li et al. [18]; Sec. 5.2 "App scheduler
+// background").
+//
+// "HyperBand launches several ML training jobs each with user-configured
+// equal priority ... and kills the bottom-half of jobs with poor convergence
+// periodically after a fixed number of iterations until a single job
+// remains." We implement successive halving with eta = 2: rung r's budget is
+// base_iterations * 2^r; when every alive job has reached the rung budget,
+// the half with the worst observed loss at that budget is terminated.
+#pragma once
+
+#include "hyperopt/app_scheduler.h"
+
+namespace themis {
+
+struct HyperBandConfig {
+  /// Rung-0 iteration budget. Defaults to a small fraction of the shortest
+  /// job so the first halving happens early, as in the paper's Fig. 8-style
+  /// traces.
+  double base_iterations = 0.0;  // 0 => auto: min total_iterations / 16
+  double eta = 2.0;
+};
+
+class HyperBand final : public IAppScheduler {
+ public:
+  explicit HyperBand(HyperBandConfig config = {});
+
+  void Init(const AppSpec& app) override;
+  TunerDecision Step(const std::vector<JobView>& jobs, Time now) override;
+  const char* name() const override { return "HyperBand"; }
+
+  int current_rung() const { return rung_; }
+  double RungBudget(int rung) const;
+
+ private:
+  HyperBandConfig config_;
+  double base_ = 1.0;
+  int rung_ = 0;
+};
+
+}  // namespace themis

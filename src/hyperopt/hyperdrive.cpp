@@ -1,0 +1,80 @@
+#include "hyperopt/hyperdrive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace themis {
+
+HyperDrive::HyperDrive(HyperDriveConfig config) : config_(config) {}
+
+void HyperDrive::Init(const AppSpec& app) { target_loss_ = app.target_loss; }
+
+double HyperDrive::ProjectTotalIterations(const JobView& job) const {
+  // Read the loss trajectory observed so far (as the paper's profiler reads
+  // TF logs) and fit.
+  std::vector<LossSample> samples;
+  const double upto = std::max(2.0, job.done_iterations);
+  for (int k = 1; k <= 8; ++k) {
+    const double it = upto * static_cast<double>(k) / 8.0;
+    samples.push_back({it, job.spec->loss.LossAt(it)});
+  }
+  auto pred = PredictIterationsToTarget(samples, target_loss_);
+  return pred.value_or(job.spec->total_iterations);
+}
+
+TunerDecision HyperDrive::Step(const std::vector<JobView>& jobs, Time /*now*/) {
+  TunerDecision decision;
+  decision.parallelism_cap.resize(jobs.size(), 0);
+
+  std::vector<int> alive;
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    if (jobs[i].alive && !jobs[i].finished) alive.push_back(static_cast<int>(i));
+
+  // Warmup: every alive job runs at full parallelism until it has produced
+  // enough loss samples to classify.
+  std::vector<double> projection(jobs.size(), 0.0);
+  double best = std::numeric_limits<double>::infinity();
+  bool any_classified = false;
+  for (int i : alive) {
+    if (jobs[i].done_iterations < config_.warmup_iterations) continue;
+    projection[i] = ProjectTotalIterations(jobs[i]);
+    best = std::min(best, projection[i]);
+    any_classified = true;
+  }
+
+  for (int i : alive) {
+    const int max_par = jobs[i].spec->MaxParallelism();
+    if (!any_classified || jobs[i].done_iterations < config_.warmup_iterations) {
+      decision.parallelism_cap[i] = max_par;
+      continue;
+    }
+    const double ratio = projection[i] / best;
+    if (ratio > config_.poor_ratio && alive.size() > 1) {
+      decision.kill.push_back(i);
+      decision.parallelism_cap[i] = 0;
+    } else if (ratio > config_.good_ratio) {
+      // Promising: reduced parallelism, but never below one task's gang.
+      const int reduced = static_cast<int>(
+          std::ceil(max_par * config_.promising_parallelism));
+      decision.parallelism_cap[i] =
+          std::max(jobs[i].spec->gpus_per_task,
+                   reduced - reduced % jobs[i].spec->gpus_per_task);
+    } else {
+      decision.parallelism_cap[i] = max_par;  // good
+    }
+  }
+  // Never kill every job: if all were classified poor, spare the best one.
+  if (!alive.empty() && decision.kill.size() == alive.size()) {
+    int best_idx = alive.front();
+    for (int i : alive)
+      if (projection[i] < projection[best_idx]) best_idx = i;
+    decision.kill.erase(
+        std::remove(decision.kill.begin(), decision.kill.end(), best_idx),
+        decision.kill.end());
+    decision.parallelism_cap[best_idx] = jobs[best_idx].spec->MaxParallelism();
+  }
+  return decision;
+}
+
+}  // namespace themis

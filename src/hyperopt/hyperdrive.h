@@ -1,0 +1,47 @@
+// HyperDrive app scheduler (Rasley et al. [21]; Sec. 5.2).
+//
+// "HyperDrive ... continually monitors the jobs' loss convergence properties
+// to classify jobs as good, promising, and poor. HyperDrive then gives
+// varying execution priorities to different jobs by controlling the maximum
+// parallelism for each constituent job, with higher priorities for good jobs
+// and terminating a job as soon as it is classified as poor."
+//
+// Classification uses the curve-fitting estimator: each job's projected
+// iterations-to-target is compared against the best job's projection.
+#pragma once
+
+#include "estimator/curve_fit.h"
+#include "hyperopt/app_scheduler.h"
+
+namespace themis {
+
+struct HyperDriveConfig {
+  /// Projected-work ratio (vs. the current best job) above which a job is
+  /// classified poor and killed.
+  double poor_ratio = 4.0;
+  /// Ratio above which a job is merely promising (reduced parallelism).
+  double good_ratio = 1.5;
+  /// Parallelism fraction granted to promising jobs (good jobs get 1.0).
+  double promising_parallelism = 0.5;
+  /// Minimum observed iterations before any classification happens.
+  double warmup_iterations = 20.0;
+};
+
+class HyperDrive final : public IAppScheduler {
+ public:
+  explicit HyperDrive(HyperDriveConfig config = {});
+
+  void Init(const AppSpec& app) override;
+  TunerDecision Step(const std::vector<JobView>& jobs, Time now) override;
+  const char* name() const override { return "HyperDrive"; }
+
+ private:
+  /// Projected total iterations to the app's target loss for one job, via
+  /// power-law fit of the loss observed so far.
+  double ProjectTotalIterations(const JobView& job) const;
+
+  HyperDriveConfig config_;
+  double target_loss_ = 0.1;
+};
+
+}  // namespace themis

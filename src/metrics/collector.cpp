@@ -1,0 +1,90 @@
+#include "metrics/collector.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace themis {
+
+void MetricsCollector::RecordAppFinish(const AppRecord& record) {
+  apps_.push_back(record);
+}
+
+void MetricsCollector::RecordAllocation(Time time, AppId app, int gpus) {
+  timeline_.push_back({time, app, gpus});
+}
+
+void MetricsCollector::RecordAuction(int /*participants*/, int offered_gpus,
+                                     int /*granted_gpus*/, int leftover_gpus) {
+  ++auctions_;
+  if (offered_gpus > 0) {
+    leftover_fraction_sum_ +=
+        static_cast<double>(leftover_gpus) / static_cast<double>(offered_gpus);
+    ++leftover_samples_;
+  }
+}
+
+std::vector<double> MetricsCollector::Rhos() const {
+  std::vector<double> out;
+  out.reserve(apps_.size());
+  for (const AppRecord& a : apps_) out.push_back(a.Rho());
+  return out;
+}
+
+std::vector<double> MetricsCollector::CompletionTimes() const {
+  std::vector<double> out;
+  out.reserve(apps_.size());
+  for (const AppRecord& a : apps_) out.push_back(a.CompletionTime());
+  return out;
+}
+
+std::vector<double> MetricsCollector::PlacementScores() const {
+  std::vector<double> out;
+  out.reserve(apps_.size());
+  for (const AppRecord& a : apps_) out.push_back(a.mean_placement_score);
+  return out;
+}
+
+double MetricsCollector::MaxFairness() const {
+  double worst = 0.0;
+  for (const AppRecord& a : apps_) worst = std::max(worst, a.Rho());
+  return worst;
+}
+
+double MetricsCollector::MinFairness() const {
+  if (apps_.empty()) return 0.0;
+  double best = apps_.front().Rho();
+  for (const AppRecord& a : apps_) best = std::min(best, a.Rho());
+  return best;
+}
+
+double MetricsCollector::MedianFairness() const {
+  if (apps_.empty()) return 0.0;
+  return Percentile(Rhos(), 50.0);
+}
+
+double MetricsCollector::JainsFairnessIndex() const {
+  const auto rhos = Rhos();
+  return JainsIndex(rhos);
+}
+
+double MetricsCollector::AverageCompletionTime() const {
+  if (apps_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const AppRecord& a : apps_) sum += a.CompletionTime();
+  return sum / static_cast<double>(apps_.size());
+}
+
+double MetricsCollector::MeanLeftoverFraction() const {
+  if (leftover_samples_ == 0) return 0.0;
+  return leftover_fraction_sum_ / static_cast<double>(leftover_samples_);
+}
+
+std::string MetricsCollector::SummaryString() const {
+  std::ostringstream os;
+  os << "apps=" << apps_.size() << " max_rho=" << MaxFairness()
+     << " median_rho=" << MedianFairness() << " jain=" << JainsFairnessIndex()
+     << " avg_act=" << AverageCompletionTime() << " gpu_time=" << TotalGpuTime();
+  return os.str();
+}
+
+}  // namespace themis

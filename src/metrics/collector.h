@@ -1,0 +1,72 @@
+// Evaluation metrics (Sec. 8.1 "Metrics"):
+//   - Max Fairness: worst finish-time fairness rho across apps (lower = fairer)
+//   - Jain's Fairness: variance of rho across apps (closer to 1 = better)
+//   - Placement Score: 4-level locality score of job allocations
+//   - GPU Time: total GPU-minutes consumed; lower = more efficient cluster use
+//   - App Completion Time (ACT): finish - arrival per app
+// The simulator feeds the collector; benches and tests read the summaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace themis {
+
+struct AppRecord {
+  AppId app = kNoApp;
+  Time arrival = 0.0;
+  Time finish = -1.0;
+  Time ideal_time = 1.0;
+  double mean_placement_score = 1.0;
+  Work attained_service = 0.0;
+
+  double Rho() const { return (finish - arrival) / ideal_time; }
+  Time CompletionTime() const { return finish - arrival; }
+};
+
+/// Timeline sample for Fig. 8-style allocation traces.
+struct AllocationSample {
+  Time time = 0.0;
+  AppId app = kNoApp;
+  int gpus = 0;
+};
+
+class MetricsCollector {
+ public:
+  void RecordAppFinish(const AppRecord& record);
+  void RecordGpuTime(Work gpu_minutes) { gpu_time_ += gpu_minutes; }
+  void RecordAllocation(Time time, AppId app, int gpus);
+  void RecordAuction(int participants, int offered_gpus, int granted_gpus,
+                     int leftover_gpus);
+
+  const std::vector<AppRecord>& apps() const { return apps_; }
+  const std::vector<AllocationSample>& timeline() const { return timeline_; }
+
+  double MaxFairness() const;
+  double MedianFairness() const;
+  double MinFairness() const;
+  double JainsFairnessIndex() const;
+  double AverageCompletionTime() const;
+  std::vector<double> CompletionTimes() const;
+  std::vector<double> Rhos() const;
+  std::vector<double> PlacementScores() const;
+  Work TotalGpuTime() const { return gpu_time_; }
+
+  int auctions_run() const { return auctions_; }
+  double MeanLeftoverFraction() const;
+
+  std::string SummaryString() const;
+
+ private:
+  std::vector<AppRecord> apps_;
+  std::vector<AllocationSample> timeline_;
+  Work gpu_time_ = 0.0;
+  int auctions_ = 0;
+  double leftover_fraction_sum_ = 0.0;
+  int leftover_samples_ = 0;
+};
+
+}  // namespace themis

@@ -1,0 +1,152 @@
+#include "placement/placement_model.h"
+
+#include <algorithm>
+#include <map>
+
+namespace themis {
+
+double SlowdownAtLevel(const ModelProfile& model, LocalityLevel level) {
+  switch (level) {
+    case LocalityLevel::kSlot: return model.sensitivity.slot;
+    case LocalityLevel::kMachine: return model.sensitivity.machine;
+    case LocalityLevel::kRack: return model.sensitivity.rack;
+    case LocalityLevel::kCrossRack: return model.sensitivity.cross_rack;
+  }
+  return 1.0;
+}
+
+double Slowdown(const ModelProfile& model, const std::vector<GpuId>& gpus,
+                const Topology& topo) {
+  if (gpus.empty()) return 1.0;
+  return SlowdownAtLevel(model, topo.SpanLevel(gpus));
+}
+
+double PlacementScore(const std::vector<GpuId>& gpus, const Topology& topo) {
+  if (gpus.empty()) return 1.0;
+  switch (topo.SpanLevel(gpus)) {
+    case LocalityLevel::kSlot: return 1.0;
+    case LocalityLevel::kMachine: return 0.8;
+    case LocalityLevel::kRack: return 0.6;
+    case LocalityLevel::kCrossRack: return 0.4;
+  }
+  return 0.4;
+}
+
+double EffectiveRate(const ModelProfile& model, const std::vector<GpuId>& gpus,
+                     const Topology& topo) {
+  if (gpus.empty()) return 0.0;
+  return static_cast<double>(gpus.size()) * Slowdown(model, gpus, topo);
+}
+
+namespace {
+
+// Free GPUs grouped by machine, machines ordered by descending free count so
+// that whole-machine fills come first, with rack as a secondary grouping key.
+struct MachineGroup {
+  MachineId machine;
+  RackId rack;
+  std::vector<GpuId> gpus;  // ascending; ascending slot order by construction
+};
+
+std::vector<MachineGroup> GroupByMachine(const std::vector<GpuId>& free,
+                                         const Topology& topo) {
+  std::map<MachineId, MachineGroup> by_machine;
+  for (GpuId g : free) {
+    const GpuCoord& c = topo.gpu(g);
+    auto& grp = by_machine[c.machine];
+    grp.machine = c.machine;
+    grp.rack = c.rack;
+    grp.gpus.push_back(g);
+  }
+  std::vector<MachineGroup> out;
+  out.reserve(by_machine.size());
+  for (auto& [m, grp] : by_machine) out.push_back(std::move(grp));
+  return out;
+}
+
+}  // namespace
+
+std::vector<GpuId> PickBestPlaced(int count, const std::vector<GpuId>& free,
+                                  const Topology& topo) {
+  std::vector<GpuId> picked;
+  if (count <= 0 || free.empty()) return picked;
+
+  auto groups = GroupByMachine(free, topo);
+
+  // First preference: a single machine that fits the whole request; among
+  // those, the *tightest* fit to avoid fragmenting big machines.
+  const MachineGroup* best_fit = nullptr;
+  for (const auto& g : groups) {
+    if (static_cast<int>(g.gpus.size()) >= count) {
+      if (!best_fit || g.gpus.size() < best_fit->gpus.size()) best_fit = &g;
+    }
+  }
+  if (best_fit) {
+    picked.assign(best_fit->gpus.begin(), best_fit->gpus.begin() + count);
+    return picked;
+  }
+
+  // Otherwise fill machine-by-machine, largest group first, preferring to
+  // stay within the rack that holds the most free GPUs.
+  std::map<RackId, int> rack_free;
+  for (const auto& g : groups) rack_free[g.rack] += static_cast<int>(g.gpus.size());
+  RackId best_rack = groups.front().rack;
+  int best_rack_free = -1;
+  for (const auto& [rack, cnt] : rack_free)
+    if (cnt > best_rack_free) {
+      best_rack = rack;
+      best_rack_free = cnt;
+    }
+
+  std::stable_sort(groups.begin(), groups.end(),
+                   [&](const MachineGroup& a, const MachineGroup& b) {
+                     const bool ar = a.rack == best_rack;
+                     const bool br = b.rack == best_rack;
+                     if (ar != br) return ar;  // preferred rack first
+                     return a.gpus.size() > b.gpus.size();
+                   });
+  for (const auto& g : groups) {
+    for (GpuId id : g.gpus) {
+      if (static_cast<int>(picked.size()) == count) return picked;
+      picked.push_back(id);
+    }
+  }
+  return picked;  // fewer than count available
+}
+
+std::vector<GpuId> PickBestPlacedNear(int count, const std::vector<GpuId>& free,
+                                      const std::vector<GpuId>& anchor,
+                                      const Topology& topo) {
+  if (count <= 0 || free.empty()) return {};
+  if (anchor.empty()) return PickBestPlaced(count, free, topo);
+
+  std::map<MachineId, int> anchor_machines;
+  std::map<RackId, int> anchor_racks;
+  for (GpuId g : anchor) {
+    const GpuCoord& c = topo.gpu(g);
+    ++anchor_machines[c.machine];
+    ++anchor_racks[c.rack];
+  }
+
+  auto groups = GroupByMachine(free, topo);
+  std::stable_sort(groups.begin(), groups.end(),
+                   [&](const MachineGroup& a, const MachineGroup& b) {
+                     const bool am = anchor_machines.count(a.machine) > 0;
+                     const bool bm = anchor_machines.count(b.machine) > 0;
+                     if (am != bm) return am;  // same machine as anchor first
+                     const bool ar = anchor_racks.count(a.rack) > 0;
+                     const bool br = anchor_racks.count(b.rack) > 0;
+                     if (ar != br) return ar;  // then same rack
+                     return a.gpus.size() > b.gpus.size();
+                   });
+  std::vector<GpuId> picked;
+  for (const auto& g : groups) {
+    for (GpuId id : g.gpus) {
+      if (static_cast<int>(picked.size()) == count) return picked;
+      picked.push_back(id);
+    }
+  }
+  return picked;
+}
+
+}  // namespace themis

@@ -1,0 +1,48 @@
+// Placement-sensitivity arithmetic (Sec. 5.2).
+//
+// With ideal placement a job's running time scales linearly with its GPU
+// count G: time = serialTime / G. Real scaling is degraded by the slowdown
+// factor S(G->) <= 1 determined by the widest topology boundary the GPU set
+// spans: time = serialTime / (G * S). This module computes S for a concrete
+// GPU set, the paper's 4-level placement *score* (Sec. 8.1 metrics), and
+// greedy locality-aware GPU selection used by agents when they turn a
+// per-machine allocation vector into concrete GPUs.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "placement/model_profile.h"
+
+namespace themis {
+
+/// Slowdown S in (0,1] for `model` when its job runs on `gpus`.
+/// Empty set yields 1.0 (vacuously ideal; callers guard G=0 separately).
+double Slowdown(const ModelProfile& model, const std::vector<GpuId>& gpus,
+                const Topology& topo);
+
+/// Slowdown looked up by locality level alone.
+double SlowdownAtLevel(const ModelProfile& model, LocalityLevel level);
+
+/// The model-independent placement score used in Fig. 7: 1.0 for slot
+/// locality, then 0.8 / 0.6 / 0.4 for machine / rack / cross-rack spans.
+double PlacementScore(const std::vector<GpuId>& gpus, const Topology& topo);
+
+/// Effective progress rate (serial GPU-minutes consumed per minute) of a job
+/// running `gpus.size()` GPUs with the given model: G * S.
+double EffectiveRate(const ModelProfile& model, const std::vector<GpuId>& gpus,
+                     const Topology& topo);
+
+/// Pick `count` GPUs from `free` (ids into the topology) greedily maximizing
+/// locality: prefer filling whole slots, then whole machines, then one rack.
+/// Returns fewer than `count` if not enough free GPUs. Deterministic.
+std::vector<GpuId> PickBestPlaced(int count, const std::vector<GpuId>& free,
+                                  const Topology& topo);
+
+/// Same, but anchored: prefer machines where `anchor` GPUs already live
+/// (used for leftover allocation, Sec. 5.1 step 3, and job growth).
+std::vector<GpuId> PickBestPlacedNear(int count, const std::vector<GpuId>& free,
+                                      const std::vector<GpuId>& anchor,
+                                      const Topology& topo);
+
+}  // namespace themis

@@ -1,0 +1,16 @@
+#include "sim/events.h"
+
+namespace themis {
+
+void EventQueue::Push(Event e) {
+  e.seq = next_seq_++;
+  heap_.push(e);
+}
+
+Event EventQueue::Pop() {
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace themis

@@ -1,0 +1,53 @@
+// Event queue for the discrete-event simulator. Events at equal times are
+// ordered by insertion sequence, making runs fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace themis {
+
+enum class EventType {
+  kAppArrival,
+  kLeaseTick,       // some lease expires at this time; reclaim + reschedule
+  kJobFinish,       // a job is projected to reach its target at this time
+  kMachineFail,     // a machine's failure domain trips (Sec. 6)
+  kMachineRepair,   // a failed machine returns to service
+};
+
+struct Event {
+  Time time = 0.0;
+  std::uint64_t seq = 0;  // FIFO tie-break at equal times
+  EventType type = EventType::kLeaseTick;
+  AppId app = kNoApp;
+  JobId job = kNoJob;
+  /// For kJobFinish: the job's alloc_version when scheduled; stale events
+  /// (version mismatch) are ignored.
+  std::uint64_t version = 0;
+  /// For kMachineFail / kMachineRepair.
+  MachineId machine = 0;
+};
+
+class EventQueue {
+ public:
+  void Push(Event e);
+  bool Empty() const { return heap_.empty(); }
+  const Event& Top() const { return heap_.top(); }
+  Event Pop();
+  std::size_t size() const { return heap_.size(); }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace themis

@@ -1,0 +1,106 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+
+#include "baselines/drf.h"
+#include "baselines/gandiva.h"
+#include "baselines/slaq.h"
+#include "baselines/tiresias.h"
+
+namespace themis {
+
+const char* ToString(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kThemis: return "Themis";
+    case PolicyKind::kGandiva: return "Gandiva";
+    case PolicyKind::kTiresias: return "Tiresias";
+    case PolicyKind::kSlaq: return "SLAQ";
+    case PolicyKind::kDrf: return "DRF";
+  }
+  return "?";
+}
+
+std::unique_ptr<ISchedulerPolicy> MakePolicy(PolicyKind kind,
+                                             ThemisConfig themis_config) {
+  switch (kind) {
+    case PolicyKind::kThemis:
+      return std::make_unique<ThemisPolicy>(themis_config);
+    case PolicyKind::kGandiva:
+      return std::make_unique<GandivaPolicy>();
+    case PolicyKind::kTiresias:
+      return std::make_unique<TiresiasPolicy>();
+    case PolicyKind::kSlaq:
+      return std::make_unique<SlaqPolicy>();
+    case PolicyKind::kDrf:
+      return std::make_unique<DrfPolicy>();
+  }
+  return std::make_unique<ThemisPolicy>(themis_config);
+}
+
+ExperimentResult RunExperimentWithApps(const ExperimentConfig& config,
+                                       std::vector<AppSpec> apps) {
+  Simulator sim(config.cluster, std::move(apps),
+                MakePolicy(config.policy, config.themis), config.sim);
+  SimResult run = sim.Run();
+  const double contention = run.peak_contention;
+
+  ExperimentResult result;
+  result.policy_name = ToString(config.policy);
+  result.max_fairness = run.metrics.MaxFairness();
+  result.median_fairness = run.metrics.MedianFairness();
+  result.min_fairness = run.metrics.MinFairness();
+  result.jains_index = run.metrics.JainsFairnessIndex();
+  result.avg_completion_time = run.metrics.AverageCompletionTime();
+  result.gpu_time = run.metrics.TotalGpuTime();
+  result.peak_contention = contention;
+  result.unfinished_apps = static_cast<int>(run.unfinished.size());
+  result.machine_failures = run.machine_failures;
+  // Metric records accumulate in finish order; expose the per-app vectors in
+  // AppId (== submission) order so callers can label them.
+  std::vector<AppRecord> records = run.metrics.apps();
+  std::sort(records.begin(), records.end(),
+            [](const AppRecord& a, const AppRecord& b) { return a.app < b.app; });
+  for (const AppRecord& rec : records) {
+    result.rhos.push_back(rec.Rho());
+    result.completion_times.push_back(rec.CompletionTime());
+    result.placement_scores.push_back(rec.mean_placement_score);
+  }
+  result.timeline = run.metrics.timeline();
+  return result;
+}
+
+ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  TraceGenerator gen(config.trace);
+  return RunExperimentWithApps(config, gen.Generate());
+}
+
+ExperimentConfig TestbedScaleConfig(PolicyKind policy, std::uint64_t seed,
+                                    int num_apps) {
+  ExperimentConfig config;
+  config.cluster = ClusterSpec::Testbed50();
+  config.policy = policy;
+  config.trace.seed = seed;
+  config.trace.num_apps = num_apps;
+  // Sec. 8.3 footnote: durations scaled down by 5, inter-arrival kept.
+  config.trace.duration_scale = 1.0 / 5.0;
+  // Cap exploration width so one app cannot exceed the small cluster.
+  config.trace.jobs_per_app_median = 8.0;
+  config.trace.jobs_per_app_max = 24;
+  config.sim.seed = seed;
+  config.sim.lease_minutes = 10.0;
+  return config;
+}
+
+ExperimentConfig SimScaleConfig(PolicyKind policy, std::uint64_t seed,
+                                int num_apps) {
+  ExperimentConfig config;
+  config.cluster = ClusterSpec::Simulation256();
+  config.policy = policy;
+  config.trace.seed = seed;
+  config.trace.num_apps = num_apps;
+  config.sim.seed = seed;
+  config.sim.lease_minutes = 20.0;
+  return config;
+}
+
+}  // namespace themis

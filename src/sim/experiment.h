@@ -1,0 +1,64 @@
+// Experiment harness shared by the benchmark binaries, the examples and the
+// integration tests: builds a cluster + trace + policy, runs the simulator,
+// and returns the metric summaries the paper's figures report.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/themis_policy.h"
+#include "sim/simulator.h"
+#include "workload/trace_gen.h"
+
+namespace themis {
+
+enum class PolicyKind { kThemis, kGandiva, kTiresias, kSlaq, kDrf };
+
+const char* ToString(PolicyKind kind);
+std::unique_ptr<ISchedulerPolicy> MakePolicy(PolicyKind kind,
+                                             ThemisConfig themis_config = {});
+
+struct ExperimentConfig {
+  ClusterSpec cluster = ClusterSpec::Simulation256();
+  TraceConfig trace;
+  SimConfig sim;
+  PolicyKind policy = PolicyKind::kThemis;
+  ThemisConfig themis;
+};
+
+struct ExperimentResult {
+  std::string policy_name;
+  double max_fairness = 0.0;
+  double median_fairness = 0.0;
+  double min_fairness = 0.0;
+  double jains_index = 0.0;
+  double avg_completion_time = 0.0;
+  Work gpu_time = 0.0;
+  double peak_contention = 0.0;
+  int unfinished_apps = 0;
+  int machine_failures = 0;
+  std::vector<double> rhos;
+  std::vector<double> completion_times;
+  std::vector<double> placement_scores;
+  std::vector<AllocationSample> timeline;
+};
+
+/// Generate the trace from `config.trace`, run one simulation, summarize.
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+/// Run with a pre-built app list (used by the Fig. 8 hand-picked scenario).
+ExperimentResult RunExperimentWithApps(const ExperimentConfig& config,
+                                       std::vector<AppSpec> apps);
+
+/// The testbed-scale configuration of Sec. 8.3: 50-GPU cluster, durations
+/// scaled down 5x, same inter-arrival distribution.
+ExperimentConfig TestbedScaleConfig(PolicyKind policy, std::uint64_t seed = 42,
+                                    int num_apps = 60);
+
+/// The simulator-scale configuration of Sec. 8.1/8.2: 256-GPU heterogeneous
+/// cluster, mean inter-arrival 20 min.
+ExperimentConfig SimScaleConfig(PolicyKind policy, std::uint64_t seed = 42,
+                                int num_apps = 80);
+
+}  // namespace themis

@@ -1,0 +1,60 @@
+// The inter-app scheduling policy interface — the bottom level of the
+// two-level architecture (Sec. 2.3). ThemisPolicy and the three baseline
+// emulations (Gandiva / Tiresias / SLAQ, Sec. 8 intro) all implement this:
+// whenever GPUs are reclaimed or apps arrive/finish, the simulator invokes
+// Schedule() with the free pool, and the policy grants GPUs through the
+// context. The simulator applies restart overheads, lease bookkeeping and
+// finish-event rescheduling afterwards.
+#pragma once
+
+#include "common/rng.h"
+#include "estimator/work_estimator.h"
+#include "sim/state.h"
+
+namespace themis {
+
+class SchedulerContext {
+ public:
+  SchedulerContext(Time now, Cluster* cluster, WorkEstimator* estimator,
+                   Time lease_duration, AppList* apps, Rng* rng)
+      : now_(now),
+        cluster_(cluster),
+        estimator_(estimator),
+        lease_duration_(lease_duration),
+        apps_(apps),
+        rng_(rng) {}
+
+  Time now() const { return now_; }
+  Cluster& cluster() { return *cluster_; }
+  const Topology& topology() const { return cluster_->topology(); }
+  WorkEstimator& estimator() { return *estimator_; }
+  Time lease_duration() const { return lease_duration_; }
+  /// Active apps (arrived, unfinished), ascending AppId order.
+  const AppList& apps() const { return *apps_; }
+  Rng& rng() { return *rng_; }
+
+  /// Lease `gpus` to (app, job) until now + lease_duration. The GPUs must be
+  /// free; the job records them immediately.
+  void Grant(AppState& app, JobState& job, const std::vector<GpuId>& gpus);
+
+ private:
+  Time now_;
+  Cluster* cluster_;
+  WorkEstimator* estimator_;
+  Time lease_duration_;
+  AppList* apps_;
+  Rng* rng_;
+};
+
+class ISchedulerPolicy {
+ public:
+  virtual ~ISchedulerPolicy() = default;
+
+  /// Allocate (some of) `free_gpus` among the context's apps.
+  virtual void Schedule(const std::vector<GpuId>& free_gpus,
+                        SchedulerContext& ctx) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace themis

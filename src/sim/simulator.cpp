@@ -1,0 +1,330 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/log.h"
+
+namespace themis {
+namespace {
+constexpr double kFinishEps = 1e-6;
+}
+
+void SchedulerContext::Grant(AppState& app, JobState& job,
+                             const std::vector<GpuId>& gpus) {
+  for (GpuId g : gpus) {
+    cluster_->Allocate(g, app.id, job.id, now_ + lease_duration_);
+    job.gpus.push_back(g);
+  }
+}
+
+Simulator::Simulator(ClusterSpec cluster_spec, std::vector<AppSpec> specs,
+                     std::unique_ptr<ISchedulerPolicy> policy, SimConfig config)
+    : cluster_(std::move(cluster_spec)),
+      policy_(std::move(policy)),
+      config_(config),
+      estimator_(config.estimator),
+      rng_(config.seed) {
+  apps_.reserve(specs.size());
+  AppId next_app = 0;
+  for (AppSpec& spec : specs) {
+    auto app = std::make_unique<AppState>();
+    app->id = next_app++;
+    app->spec = std::move(spec);
+    app->ideal_time = std::max(1e-9, app->spec.IdealRunningTime());
+    app->tuner = MakeAppScheduler(app->spec);
+    JobId next_job = 0;
+    for (const JobSpec& js : app->spec.jobs) {
+      JobState job;
+      job.id = next_job++;
+      job.spec = js;
+      job.parallelism_cap = js.MaxParallelism();
+      app->jobs.push_back(std::move(job));
+    }
+    queue_.Push(Event{app->spec.arrival, 0, EventType::kAppArrival, app->id,
+                      kNoJob, 0});
+    apps_.push_back(std::move(app));
+  }
+
+  // Failure injection: seed per-machine failure clocks (Sec. 6).
+  failure_rng_ = Rng(config_.seed ^ 0xFA11DEADULL);
+  if (config_.machine_mtbf_minutes > 0.0) {
+    for (MachineId m = 0; m < static_cast<MachineId>(cluster_.num_machines());
+         ++m) {
+      Event e;
+      e.time = failure_rng_.Exponential(config_.machine_mtbf_minutes);
+      e.type = EventType::kMachineFail;
+      e.machine = m;
+      queue_.Push(e);
+    }
+  }
+}
+
+AppState* Simulator::FindApp(AppId id) {
+  return (id < apps_.size()) ? apps_[id].get() : nullptr;
+}
+
+void Simulator::AdvanceTo(Time t) {
+  if (t <= last_advance_) return;
+  for (auto& app : apps_) {
+    if (!app->arrived || app->finished) continue;
+    for (JobState& job : app->jobs) {
+      if (job.gpus.empty()) continue;
+      // Held GPUs consume GPU-time for the whole interval (they are leased),
+      // even while the job restarts from a checkpoint.
+      const double held_dt = t - last_advance_;
+      const Work gpu_minutes = held_dt * static_cast<double>(job.gpus.size());
+      job.attained_service += gpu_minutes;
+      app->attained_service += gpu_minutes;
+      metrics_.RecordGpuTime(gpu_minutes);
+      if (!job.Running()) continue;
+      const Time seg_start = std::max(last_advance_, job.resume_at);
+      if (t > seg_start) {
+        job.done += (t - seg_start) * job.Rate(cluster_.topology());
+        job.done = std::min(job.done, job.spec.total_work);
+      }
+    }
+  }
+  last_advance_ = t;
+}
+
+void Simulator::KillJob(AppState& /*app*/, JobState& job) {
+  job.alive = false;
+  ++job.alloc_version;
+  for (GpuId g : job.gpus) cluster_.Release(g);
+  job.gpus.clear();
+}
+
+void Simulator::FinishJob(Time t, AppState& app, JobState& job) {
+  job.finished = true;
+  job.finish_time = t;
+  ++job.alloc_version;
+  for (GpuId g : job.gpus) cluster_.Release(g);
+  job.gpus.clear();
+  // First job to reach the target accuracy identifies the app's best model:
+  // the app is done (Sec. 2.1) and its remaining jobs are terminated.
+  FinishApp(t, app);
+}
+
+void Simulator::FinishApp(Time t, AppState& app) {
+  if (app.finished) return;
+  app.finished = true;
+  app.finish_time = t;
+  ++finished_apps_;
+  for (JobState& job : app.jobs)
+    if (job.alive && !job.finished) KillJob(app, job);
+
+  AppRecord record;
+  record.app = app.id;
+  record.arrival = app.arrival();
+  record.finish = t;
+  record.ideal_time = app.ideal_time;
+  record.mean_placement_score =
+      app.placement_scores.count() > 0 ? app.placement_scores.mean() : 1.0;
+  record.attained_service = app.attained_service;
+  metrics_.RecordAppFinish(record);
+}
+
+void Simulator::PushLeaseTick(Time t) {
+  if (t > config_.max_time) return;
+  if (pushed_ticks_.insert(t).second)
+    queue_.Push(Event{t, 0, EventType::kLeaseTick, kNoApp, kNoJob, 0});
+}
+
+void Simulator::RescheduleFinishEvents(Time t) {
+  for (auto& app : apps_) {
+    if (!app->arrived || app->finished) continue;
+    for (JobState& job : app->jobs) {
+      if (!job.Running()) continue;
+      const double rate = job.Rate(cluster_.topology());
+      if (rate <= 0.0) continue;
+      const Time start = std::max(t, job.resume_at);
+      const Time finish = start + job.RemainingWork() / rate;
+      if (finish <= config_.max_time)
+        queue_.Push(Event{finish, 0, EventType::kJobFinish, app->id, job.id,
+                          job.alloc_version});
+    }
+  }
+}
+
+void Simulator::SchedulingPass(Time t) {
+  ++passes_;
+
+  // Snapshot gangs to detect real changes (lease renewals that win the same
+  // GPUs back incur no restart overhead).
+  std::map<std::pair<AppId, JobId>, std::vector<GpuId>> before;
+  for (auto& app : apps_) {
+    if (!app->arrived || app->finished) continue;
+    for (JobState& job : app->jobs)
+      before[{app->id, job.id}] = job.gpus;
+  }
+
+  // 1. Reclaim expired leases.
+  for (GpuId g : cluster_.ExpiredGpus(t)) {
+    const Lease lease = *cluster_.lease(g);
+    cluster_.Release(g);
+    AppState* app = FindApp(lease.app);
+    if (app != nullptr && lease.job < app->jobs.size()) {
+      auto& gpus = app->jobs[lease.job].gpus;
+      gpus.erase(std::remove(gpus.begin(), gpus.end(), g), gpus.end());
+    }
+  }
+
+  // 2. Per-app tuner step: kills and parallelism caps.
+  AppList active;
+  for (auto& app : apps_) {
+    if (!app->arrived || app->finished) continue;
+    const TunerDecision decision = app->tuner->Step(app->Views(), t);
+    for (int idx : decision.kill) {
+      JobState& job = app->jobs[idx];
+      if (job.alive && !job.finished) KillJob(*app, job);
+    }
+    for (std::size_t j = 0; j < app->jobs.size(); ++j)
+      app->jobs[j].parallelism_cap = decision.parallelism_cap[j];
+    // A job whose cap shrank below its current gang keeps the lease until
+    // expiry (allocations are binding, Sec. 4's strawman discussion).
+    active.push_back(app.get());
+  }
+
+  // Track contention: total live demand (held + unmet) over capacity.
+  double demand = 0.0;
+  for (AppState* app : active)
+    for (const JobState& job : app->jobs)
+      if (job.alive && !job.finished)
+        demand += std::min(job.parallelism_cap, job.spec.MaxParallelism());
+  peak_contention_ = std::max(
+      peak_contention_, demand / static_cast<double>(cluster_.num_gpus()));
+
+  // 3. Run the inter-app policy on the free pool.
+  const std::vector<GpuId> free = cluster_.FreeGpus();
+  if (!free.empty() && !active.empty()) {
+    SchedulerContext ctx(t, &cluster_, &estimator_, config_.lease_minutes,
+                         &active, &rng_);
+    policy_->Schedule(free, ctx);
+  }
+
+  // 4. Apply restart overheads for changed gangs; sample placement scores.
+  for (AppState* app : active) {
+    int held = 0;
+    for (JobState& job : app->jobs) {
+      held += static_cast<int>(job.gpus.size());
+      auto it = before.find({app->id, job.id});
+      const bool changed = it == before.end() || it->second != job.gpus;
+      if (!changed) continue;
+      ++job.alloc_version;
+      if (!job.gpus.empty()) {
+        if (job.done > 0.0 || job.attained_service > 0.0)
+          job.resume_at = t + config_.restart_overhead_minutes;
+        else
+          job.resume_at = t + config_.restart_overhead_minutes;
+        app->placement_scores.Add(
+            PlacementScore(job.gpus, cluster_.topology()));
+      }
+    }
+    metrics_.RecordAllocation(t, app->id, held);
+  }
+
+  // 5. Schedule lease ticks + projected finish events.
+  Time next_expiry = kInfiniteTime;
+  for (GpuId g = 0; g < static_cast<GpuId>(cluster_.num_gpus()); ++g) {
+    const auto& lease = cluster_.lease(g);
+    if (lease && lease->expiry > t) next_expiry = std::min(next_expiry, lease->expiry);
+  }
+  if (std::isfinite(next_expiry)) PushLeaseTick(next_expiry);
+  RescheduleFinishEvents(t);
+}
+
+SimResult Simulator::Run() {
+  while (!queue_.Empty() && finished_apps_ < static_cast<int>(apps_.size())) {
+    const Time t = queue_.Top().time;
+    if (t > config_.max_time) break;
+    AdvanceTo(t);
+
+    bool need_schedule = false;
+    while (!queue_.Empty() && queue_.Top().time <= t + 1e-12) {
+      const Event e = queue_.Pop();
+      switch (e.type) {
+        case EventType::kAppArrival: {
+          AppState* app = FindApp(e.app);
+          app->arrived = true;
+          app->tuner->Init(app->spec);
+          need_schedule = true;
+          break;
+        }
+        case EventType::kLeaseTick:
+          need_schedule = true;
+          break;
+        case EventType::kJobFinish: {
+          AppState* app = FindApp(e.app);
+          if (app == nullptr || app->finished) break;
+          JobState& job = app->jobs[e.job];
+          if (job.alloc_version != e.version || !job.Running()) break;
+          if (job.RemainingWork() <= kFinishEps + 1e-9 * job.spec.total_work) {
+            FinishJob(t, *app, job);
+            need_schedule = true;
+          }
+          // Otherwise the projection was invalidated by an overhead change;
+          // a fresh event was (or will be) scheduled by the pass that
+          // changed it.
+          break;
+        }
+        case EventType::kMachineFail: {
+          ++machine_failures_;
+          cluster_.SetMachineDown(e.machine, true);
+          // Revoke every lease on the failed machine; affected jobs lose
+          // part (or all) of their gang and restart from checkpoints once
+          // rescheduled.
+          for (GpuId g : cluster_.topology().machine_gpus(e.machine)) {
+            if (cluster_.IsFree(g)) continue;
+            const Lease lease = *cluster_.lease(g);
+            cluster_.Release(g);
+            ++leases_revoked_by_failures_;
+            AppState* app = FindApp(lease.app);
+            if (app != nullptr && lease.job < app->jobs.size()) {
+              JobState& job = app->jobs[lease.job];
+              auto& gpus = job.gpus;
+              gpus.erase(std::remove(gpus.begin(), gpus.end(), g), gpus.end());
+              ++job.alloc_version;
+              job.resume_at = t + config_.restart_overhead_minutes;
+            }
+          }
+          Event repair;
+          repair.time = t + config_.machine_repair_minutes;
+          repair.type = EventType::kMachineRepair;
+          repair.machine = e.machine;
+          queue_.Push(repair);
+          need_schedule = true;
+          break;
+        }
+        case EventType::kMachineRepair: {
+          cluster_.SetMachineDown(e.machine, false);
+          if (config_.machine_mtbf_minutes > 0.0 &&
+              finished_apps_ < static_cast<int>(apps_.size())) {
+            Event next;
+            next.time = t + failure_rng_.Exponential(config_.machine_mtbf_minutes);
+            next.type = EventType::kMachineFail;
+            next.machine = e.machine;
+            queue_.Push(next);
+          }
+          need_schedule = true;
+          break;
+        }
+      }
+    }
+    if (need_schedule) SchedulingPass(t);
+  }
+
+  SimResult result;
+  result.end_time = last_advance_;
+  result.scheduling_passes = passes_;
+  result.peak_contention = peak_contention_;
+  result.machine_failures = machine_failures_;
+  result.gpu_leases_revoked_by_failures = leases_revoked_by_failures_;
+  for (auto& app : apps_)
+    if (!app->finished) result.unfinished.push_back(app->id);
+  result.metrics = std::move(metrics_);
+  return result;
+}
+
+}  // namespace themis

@@ -1,0 +1,102 @@
+// Event-driven GPU-cluster simulator (Sec. 8.1 "Simulator").
+//
+// The simulator advances job progress between events, reclaims expired
+// leases, invokes the per-app tuners (HyperBand / HyperDrive) and the
+// inter-app scheduling policy at every scheduling pass, and applies the
+// checkpoint/restart overhead whenever a job's gang changes. An app finishes
+// when its first job reaches the target accuracy — that job is the "best
+// model" that defines the app's finish time (Sec. 2.1) — at which point the
+// remaining jobs are terminated and their GPUs reclaimed.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "estimator/work_estimator.h"
+#include "metrics/collector.h"
+#include "sim/events.h"
+#include "sim/policy.h"
+#include "sim/state.h"
+#include "workload/trace_gen.h"
+
+namespace themis {
+
+struct SimConfig {
+  /// GPU lease duration (Sec. 8.2's sensitivity knob; default 20 min).
+  Time lease_minutes = 20.0;
+  /// Progress stall applied when a job's gang changes: checkpoint to HDFS
+  /// (5-10 s) plus container churn (35-50 s), Sec. 8.3.2.
+  Time restart_overhead_minutes = 0.75;
+  /// Hard ceiling on simulated time; apps unfinished past this point are
+  /// reported as such (tests assert none are).
+  Time max_time = 1.0e7;
+  EstimatorConfig estimator;
+  std::uint64_t seed = 1234;
+
+  /// Failure injection (Sec. 6 "Scheduling after failures" — the study the
+  /// paper leaves to future work). Mean time between failures per machine in
+  /// minutes; 0 disables injection. When a machine fails every GPU lease on
+  /// it is revoked (the affected jobs restart from checkpoints elsewhere)
+  /// and the machine rejoins after `machine_repair_minutes`.
+  Time machine_mtbf_minutes = 0.0;
+  Time machine_repair_minutes = 60.0;
+};
+
+struct SimResult {
+  MetricsCollector metrics;
+  /// Apps that never finished before max_time (should be empty).
+  std::vector<AppId> unfinished;
+  Time end_time = 0.0;
+  int scheduling_passes = 0;
+  /// Peak over time of (sum of active apps' GPU demand) / cluster GPUs —
+  /// the paper's contention yardstick (Sec. 8.3 reports 4.76x and calls it
+  /// the ideal max finish-time fairness).
+  double peak_contention = 0.0;
+  /// Failure-injection accounting.
+  int machine_failures = 0;
+  int gpu_leases_revoked_by_failures = 0;
+};
+
+class Simulator {
+ public:
+  Simulator(ClusterSpec cluster_spec, std::vector<AppSpec> apps,
+            std::unique_ptr<ISchedulerPolicy> policy, SimConfig config = {});
+
+  /// Run to completion (all apps finished) or to config.max_time.
+  SimResult Run();
+
+  const Cluster& cluster() const { return cluster_; }
+  const std::vector<std::unique_ptr<AppState>>& apps() const { return apps_; }
+
+ private:
+  void AdvanceTo(Time t);
+  void SchedulingPass(Time t);
+  void FinishJob(Time t, AppState& app, JobState& job);
+  void FinishApp(Time t, AppState& app);
+  void KillJob(AppState& app, JobState& job);
+  void RescheduleFinishEvents(Time t);
+  void PushLeaseTick(Time t);
+  AppState* FindApp(AppId id);
+
+  Cluster cluster_;
+  std::vector<std::unique_ptr<AppState>> apps_;
+  std::unique_ptr<ISchedulerPolicy> policy_;
+  SimConfig config_;
+  WorkEstimator estimator_;
+  Rng rng_;
+  EventQueue queue_;
+  MetricsCollector metrics_;
+  Time last_advance_ = 0.0;
+  std::set<Time> pushed_ticks_;
+  int passes_ = 0;
+  int finished_apps_ = 0;
+  double peak_contention_ = 0.0;
+  Rng failure_rng_{0xFA11};
+  int machine_failures_ = 0;
+  int leases_revoked_by_failures_ = 0;
+};
+
+}  // namespace themis

@@ -1,0 +1,58 @@
+#include "sim/state.h"
+
+#include <algorithm>
+
+namespace themis {
+
+double JobState::Rate(const Topology& topo) const {
+  if (!Running()) return 0.0;
+  // Gang scheduling: only whole task-gangs contribute useful work; stray
+  // GPUs beyond the last full gang are held but idle.
+  const int usable =
+      static_cast<int>(gpus.size()) -
+      static_cast<int>(gpus.size()) % spec.gpus_per_task;
+  if (usable <= 0) return 0.0;
+  std::vector<GpuId> used(gpus.begin(), gpus.begin() + usable);
+  return EffectiveJobRate(spec, used, topo);
+}
+
+int JobState::UnmetGangs() const {
+  if (!alive || finished) return 0;
+  const int cap = std::min(parallelism_cap, spec.MaxParallelism());
+  const int unmet = cap - static_cast<int>(gpus.size());
+  return std::max(0, unmet / spec.gpus_per_task);
+}
+
+double AppState::FinalRho() const {
+  if (!finished || ideal_time <= 0.0) return kUnboundedRho;
+  return (finish_time - arrival()) / ideal_time;
+}
+
+std::vector<int> AppState::ActiveJobs() const {
+  std::vector<int> out;
+  for (std::size_t j = 0; j < jobs.size(); ++j)
+    if (jobs[j].alive && !jobs[j].finished) out.push_back(static_cast<int>(j));
+  return out;
+}
+
+int AppState::GpusHeld() const {
+  int total = 0;
+  for (const JobState& j : jobs) total += static_cast<int>(j.gpus.size());
+  return total;
+}
+
+int AppState::UnmetDemand() const {
+  int total = 0;
+  for (const JobState& j : jobs) total += j.UnmetGangs() * j.spec.gpus_per_task;
+  return total;
+}
+
+std::vector<JobView> AppState::Views() const {
+  std::vector<JobView> views;
+  views.reserve(jobs.size());
+  for (const JobState& j : jobs)
+    views.push_back(JobView{&j.spec, j.DoneIterations(), j.alive, j.finished});
+  return views;
+}
+
+}  // namespace themis

@@ -1,0 +1,85 @@
+// Runtime state of apps and jobs inside the event-driven simulator.
+//
+// JobState tracks progress in serial GPU-minutes: a job holding GPU set G
+// with placement slowdown S progresses at rate |G| * S. AppState owns its
+// jobs, its hyper-parameter tuner, and the bookkeeping every scheduling
+// policy reads (attained service for Tiresias, loss curves for SLAQ, rho
+// inputs for THEMIS).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "hyperopt/app_scheduler.h"
+#include "placement/placement_model.h"
+#include "workload/job_spec.h"
+
+namespace themis {
+
+struct JobState {
+  JobId id = 0;
+  JobSpec spec;
+
+  Work done = 0.0;
+  bool alive = true;      // false once the tuner kills it
+  bool finished = false;  // reached target accuracy
+  Time finish_time = -1.0;
+
+  /// GPUs currently leased to this job (its gang).
+  std::vector<GpuId> gpus;
+  /// Progress stalls until this time after any allocation change
+  /// (checkpoint + container churn, Sec. 8.3.2).
+  Time resume_at = 0.0;
+  /// Maximum parallelism granted by the tuner (G_ideal for this job).
+  int parallelism_cap = 0;
+  /// Bumped on every allocation change; stale finish events carry old values.
+  std::uint64_t alloc_version = 0;
+  /// Total GPU-minutes consumed (Tiresias' "attained service").
+  Work attained_service = 0.0;
+
+  bool Running() const { return alive && !finished && !gpus.empty(); }
+  Work RemainingWork() const { return std::max(0.0, spec.total_work - done); }
+  double DoneIterations() const { return done / spec.WorkPerIteration(); }
+  /// Progress rate |G| * S given the topology; 0 when not running.
+  double Rate(const Topology& topo) const;
+  /// Additional whole gangs this job can still use.
+  int UnmetGangs() const;
+};
+
+struct AppState {
+  AppId id = 0;
+  AppSpec spec;
+  std::unique_ptr<IAppScheduler> tuner;
+  std::vector<JobState> jobs;
+
+  bool arrived = false;
+  bool finished = false;
+  Time finish_time = -1.0;
+  /// T_ID: running time alone on the cluster with ideal placement.
+  Time ideal_time = 1.0;
+  Work attained_service = 0.0;
+  /// Mean placement score of this app's (non-empty) job allocations.
+  Summary placement_scores;
+  /// Cached fairness estimate from the last ARBITER probe (diagnostics).
+  double last_rho = kUnboundedRho;
+
+  Time arrival() const { return spec.arrival; }
+  /// Finish-time fairness realized at completion: (finish - arrival) / T_ID.
+  double FinalRho() const;
+  /// Jobs still training (alive, not finished).
+  std::vector<int> ActiveJobs() const;
+  int GpusHeld() const;
+  /// Whole-gang GPU demand still unmet across active jobs.
+  int UnmetDemand() const;
+
+  /// JobView vector for the tuner.
+  std::vector<JobView> Views() const;
+};
+
+/// Deterministically ordered list of app pointers (by AppId).
+using AppList = std::vector<AppState*>;
+
+}  // namespace themis

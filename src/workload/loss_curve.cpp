@@ -1,0 +1,32 @@
+#include "workload/loss_curve.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace themis {
+
+LossCurve::LossCurve(double scale, double decay, double floor)
+    : scale_(scale), decay_(decay), floor_(floor) {
+  if (scale <= 0.0 || decay <= 0.0 || floor < 0.0)
+    throw std::invalid_argument("LossCurve: invalid parameters");
+}
+
+double LossCurve::LossAt(double iteration) const {
+  if (iteration < 0.0) iteration = 0.0;
+  return floor_ + scale_ * std::pow(iteration + 1.0, -decay_);
+}
+
+double LossCurve::IterationsToTarget(double target) const {
+  if (target <= floor_) return std::numeric_limits<double>::infinity();
+  if (target >= LossAt(0.0)) return 0.0;
+  // floor + scale * (i+1)^-d = target  =>  i = (scale/(target-floor))^(1/d) - 1
+  return std::pow(scale_ / (target - floor_), 1.0 / decay_) - 1.0;
+}
+
+double LossCurve::LossDecrease(double from, double to) const {
+  if (to <= from) return 0.0;
+  return LossAt(from) - LossAt(to);
+}
+
+}  // namespace themis

@@ -1,0 +1,43 @@
+// Analytic training-loss curves.
+//
+// The paper's HyperBand/HyperDrive integrations and the SLAQ baseline all
+// consume per-iteration loss sequences. Real jobs' loss trajectories are well
+// approximated by power laws (the paper's profiler fits "a best-fit
+// sub-linear or super-linear curve"); we model
+//     loss(i) = floor + scale * (i + 1)^(-decay)
+// where a larger decay means faster convergence (a better hyper-parameter
+// choice). The iteration at which the loss first reaches the target defines
+// the job's true total work.
+#pragma once
+
+#include <cstdint>
+
+namespace themis {
+
+class LossCurve {
+ public:
+  LossCurve() = default;
+  /// scale > 0, decay > 0, floor >= 0.
+  LossCurve(double scale, double decay, double floor);
+
+  double LossAt(double iteration) const;
+
+  /// First (fractional) iteration with loss <= target. Returns +inf when the
+  /// target is at or below the floor (unreachable).
+  double IterationsToTarget(double target) const;
+
+  /// Loss decrease between iterations [from, to); used by SLAQ's
+  /// marginal-quality bids.
+  double LossDecrease(double from, double to) const;
+
+  double scale() const { return scale_; }
+  double decay() const { return decay_; }
+  double floor() const { return floor_; }
+
+ private:
+  double scale_ = 1.0;
+  double decay_ = 0.5;
+  double floor_ = 0.0;
+};
+
+}  // namespace themis

@@ -1,0 +1,84 @@
+#include "workload/trace_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace themis {
+
+TraceGenerator::TraceGenerator(TraceConfig config)
+    : config_(config), rng_(config.seed) {}
+
+std::vector<AppSpec> TraceGenerator::Generate() {
+  std::vector<AppSpec> apps;
+  apps.reserve(config_.num_apps);
+  Time now = 0.0;
+  for (int i = 0; i < config_.num_apps; ++i) {
+    apps.push_back(GenerateApp(now, i));
+    now += rng_.Exponential(config_.mean_interarrival / config_.contention_factor);
+  }
+  return apps;
+}
+
+AppSpec TraceGenerator::GenerateApp(Time arrival, int index) {
+  // Each app gets its own RNG stream so that changing one app's draws does
+  // not perturb the rest of the trace.
+  Rng app_rng = rng_.Split();
+
+  AppSpec app;
+  app.name = "app-" + std::to_string(index);
+  app.arrival = arrival;
+  app.target_loss = config_.target_loss;
+
+  const bool sensitive = app_rng.NextDouble() < config_.frac_network_intensive;
+  // Pick a concrete architecture within the family; all jobs in one app share
+  // the model structure (they differ only in hyper-parameters, Sec. 5.2).
+  const ModelProfile& model = [&]() -> const ModelProfile& {
+    if (sensitive) {
+      const char* names[] = {"VGG16", "VGG19", "AlexNet"};
+      return ModelByName(names[app_rng.UniformInt(0, 2)]);
+    }
+    const char* names[] = {"ResNet50", "Inceptionv3"};
+    return ModelByName(names[app_rng.UniformInt(0, 1)]);
+  }();
+
+  const int n_jobs = std::clamp(
+      static_cast<int>(std::lround(app_rng.LogNormalMedian(
+          config_.jobs_per_app_median, config_.jobs_per_app_sigma))),
+      config_.jobs_per_app_min, config_.jobs_per_app_max);
+  app.tuner = (n_jobs == 1) ? TunerKind::kNone : TunerKind::kHyperBand;
+
+  app.jobs.reserve(n_jobs);
+  for (int j = 0; j < n_jobs; ++j) app.jobs.push_back(GenerateJob(model, app_rng));
+  return app;
+}
+
+JobSpec TraceGenerator::GenerateJob(const ModelProfile& model, Rng& app_rng) {
+  JobSpec job;
+  job.model = model;
+  job.num_tasks = config_.tasks_per_job;
+  job.gpus_per_task =
+      (app_rng.NextDouble() < config_.frac_four_gpu_tasks) ? 4 : 2;
+
+  const bool is_long = app_rng.NextDouble() < config_.frac_long;
+  const double median =
+      is_long ? config_.long_duration_median : config_.short_duration_median;
+  const double duration =
+      std::max(1.0, app_rng.LogNormalMedian(median, config_.duration_sigma)) *
+      config_.duration_scale;
+
+  // `duration` is the job's ideal running time at maximum parallelism with
+  // perfect placement, so serial work = duration * max parallelism.
+  job.total_work = duration * job.MaxParallelism();
+  job.total_iterations = std::max(50.0, duration * config_.iters_per_minute);
+
+  // Construct a loss curve that reaches the target exactly at
+  // total_iterations: scale = target * (iters + 1)^decay, floor = 0.
+  const double decay = app_rng.Uniform(config_.min_decay, config_.max_decay);
+  const double scale =
+      config_.target_loss * std::pow(job.total_iterations + 1.0, decay);
+  job.loss = LossCurve(scale, decay, 0.0);
+  return job;
+}
+
+}  // namespace themis

@@ -1,0 +1,139 @@
+#include "workload/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace themis {
+namespace {
+
+constexpr char kHeader[] =
+    "app_index,app_name,arrival,tuner,target_loss,num_tasks,gpus_per_task,"
+    "total_work,total_iterations,loss_scale,loss_decay,loss_floor,model,"
+    "max_span";
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, ',')) fields.push_back(field);
+  // A trailing comma yields an empty final field that getline drops; the
+  // format never emits one, so nothing to handle.
+  return fields;
+}
+
+[[noreturn]] void Fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("trace csv line " + std::to_string(line_no) + ": " +
+                           what);
+}
+
+}  // namespace
+
+const char* ToString(TunerKind kind) {
+  switch (kind) {
+    case TunerKind::kNone: return "none";
+    case TunerKind::kHyperBand: return "hyperband";
+    case TunerKind::kHyperDrive: return "hyperdrive";
+  }
+  return "none";
+}
+
+TunerKind TunerKindFromString(const std::string& name) {
+  if (name == "none") return TunerKind::kNone;
+  if (name == "hyperband") return TunerKind::kHyperBand;
+  if (name == "hyperdrive") return TunerKind::kHyperDrive;
+  throw std::runtime_error("unknown tuner kind: " + name);
+}
+
+LocalityLevel LocalityLevelFromString(const std::string& name) {
+  if (name == "slot") return LocalityLevel::kSlot;
+  if (name == "machine") return LocalityLevel::kMachine;
+  if (name == "rack") return LocalityLevel::kRack;
+  if (name == "cross-rack") return LocalityLevel::kCrossRack;
+  throw std::runtime_error("unknown locality level: " + name);
+}
+
+void WriteTraceCsv(std::ostream& out, const std::vector<AppSpec>& apps) {
+  out << kHeader << '\n';
+  out.precision(17);
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const AppSpec& app = apps[i];
+    for (const JobSpec& job : app.jobs) {
+      out << i << ',' << app.name << ',' << app.arrival << ','
+          << ToString(app.tuner) << ',' << app.target_loss << ','
+          << job.num_tasks << ',' << job.gpus_per_task << ','
+          << job.total_work << ',' << job.total_iterations << ','
+          << job.loss.scale() << ',' << job.loss.decay() << ','
+          << job.loss.floor() << ',' << job.model.name << ','
+          << ToString(job.max_span) << '\n';
+    }
+  }
+}
+
+void WriteTraceCsvFile(const std::string& path,
+                       const std::vector<AppSpec>& apps) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  WriteTraceCsv(out, apps);
+}
+
+std::vector<AppSpec> ReadTraceCsv(std::istream& in) {
+  std::vector<AppSpec> apps;
+  std::string line;
+  std::size_t line_no = 0;
+
+  if (!std::getline(in, line)) throw std::runtime_error("trace csv: empty input");
+  ++line_no;
+  if (line != kHeader) Fail(line_no, "unexpected header");
+
+  long long current_index = -1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto f = SplitCsvLine(line);
+    if (f.size() != 14) Fail(line_no, "expected 14 fields, got " +
+                                          std::to_string(f.size()));
+    try {
+      const long long app_index = std::stoll(f[0]);
+      if (app_index != current_index) {
+        if (app_index != current_index + 1)
+          Fail(line_no, "app_index must be contiguous");
+        current_index = app_index;
+        AppSpec app;
+        app.name = f[1];
+        app.arrival = std::stod(f[2]);
+        app.tuner = TunerKindFromString(f[3]);
+        app.target_loss = std::stod(f[4]);
+        apps.push_back(std::move(app));
+      }
+      JobSpec job;
+      job.num_tasks = std::stoi(f[5]);
+      job.gpus_per_task = std::stoi(f[6]);
+      job.total_work = std::stod(f[7]);
+      job.total_iterations = std::stod(f[8]);
+      job.loss = LossCurve(std::stod(f[9]), std::stod(f[10]), std::stod(f[11]));
+      job.model = ModelByName(f[12]);
+      job.max_span = LocalityLevelFromString(f[13]);
+      if (job.num_tasks <= 0 || job.gpus_per_task <= 0 || job.total_work <= 0.0)
+        Fail(line_no, "non-positive job shape");
+      apps.back().jobs.push_back(std::move(job));
+    } catch (const std::runtime_error&) {
+      throw;
+    } catch (const std::exception& e) {
+      Fail(line_no, e.what());
+    }
+  }
+  for (std::size_t i = 0; i < apps.size(); ++i)
+    if (apps[i].jobs.empty())
+      throw std::runtime_error("trace csv: app " + std::to_string(i) +
+                               " has no jobs");
+  return apps;
+}
+
+std::vector<AppSpec> ReadTraceCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return ReadTraceCsv(in);
+}
+
+}  // namespace themis

@@ -1,0 +1,34 @@
+// Trace serialization: save generated workloads to CSV and load them back,
+// so experiments can be archived, inspected, edited by hand, and replayed
+// bit-identically — the workflow a real trace (like the paper's enterprise
+// one) would follow.
+//
+// Format: one row per job, header included.
+//   app_index,app_name,arrival,tuner,target_loss,
+//   num_tasks,gpus_per_task,total_work,total_iterations,
+//   loss_scale,loss_decay,loss_floor,model,max_span
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/job_spec.h"
+
+namespace themis {
+
+/// Serialize apps to CSV. Apps keep their order; jobs keep theirs.
+void WriteTraceCsv(std::ostream& out, const std::vector<AppSpec>& apps);
+void WriteTraceCsvFile(const std::string& path, const std::vector<AppSpec>& apps);
+
+/// Parse a trace written by WriteTraceCsv. Throws std::runtime_error with a
+/// line number on malformed input.
+std::vector<AppSpec> ReadTraceCsv(std::istream& in);
+std::vector<AppSpec> ReadTraceCsvFile(const std::string& path);
+
+/// Round-trip helpers used by tests.
+const char* ToString(TunerKind kind);
+TunerKind TunerKindFromString(const std::string& name);
+LocalityLevel LocalityLevelFromString(const std::string& name);
+
+}  // namespace themis

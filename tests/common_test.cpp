@@ -1,0 +1,202 @@
+// Tests for common/: deterministic RNG and the statistics toolkit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace themis {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.NextU64() == b.NextU64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-3.0, 7.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 7.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(11);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) {
+    const int v = rng.UniformInt(2, 6);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 6);
+    ++counts[v - 2];
+  }
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng(12);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(20.0);
+  EXPECT_NEAR(sum / n, 20.0, 0.5);
+}
+
+TEST(Rng, NormalMomentsConverge) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(5.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, LogNormalMedianConverges) {
+  Rng rng(14);
+  std::vector<double> values;
+  for (int i = 0; i < 100001; ++i) values.push_back(rng.LogNormalMedian(59.0, 0.8));
+  EXPECT_NEAR(Percentile(values, 50.0), 59.0, 1.5);
+}
+
+TEST(Rng, SplitStreamsAreIndependentOfSiblingDraws) {
+  // Drawing more values from one child must not change another child's
+  // sequence: each split captures its own seed.
+  Rng parent_a(99), parent_b(99);
+  Rng child_a1 = parent_a.Split();
+  Rng child_a2 = parent_a.Split();
+  Rng child_b1 = parent_b.Split();
+  (void)child_b1.NextU64();  // perturb b1 heavily
+  for (int i = 0; i < 100; ++i) (void)child_b1.NextU64();
+  Rng child_b2 = parent_b.Split();
+  (void)child_a1;
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child_a2.NextU64(), child_b2.NextU64());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(15);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Jains, PerfectlyUniformIsOne) {
+  std::vector<double> v{3.0, 3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(JainsIndex(v), 1.0);
+}
+
+TEST(Jains, EmptyIsOne) {
+  EXPECT_DOUBLE_EQ(JainsIndex(std::vector<double>{}), 1.0);
+}
+
+TEST(Jains, SingleWinnerIsOneOverN) {
+  std::vector<double> v{1.0, 0.0, 0.0, 0.0};
+  EXPECT_NEAR(JainsIndex(v), 0.25, 1e-12);
+}
+
+TEST(Jains, ScaleInvariant) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  std::vector<double> w{10.0, 20.0, 30.0};
+  EXPECT_NEAR(JainsIndex(v), JainsIndex(w), 1e-12);
+}
+
+class JainsBoundsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JainsBoundsTest, AlwaysWithinBounds) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n));
+  std::vector<double> v;
+  for (int i = 0; i < n; ++i) v.push_back(rng.Uniform(0.0, 100.0));
+  const double j = JainsIndex(v);
+  EXPECT_GE(j, 1.0 / static_cast<double>(n) - 1e-12);
+  EXPECT_LE(j, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JainsBoundsTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 50, 100, 1000));
+
+TEST(Percentile, EndpointsAndMedian) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 3.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 75.0), 7.5);
+}
+
+TEST(Percentile, ThrowsOnEmpty) {
+  EXPECT_THROW(Percentile({}, 50.0), std::invalid_argument);
+}
+
+TEST(Cdf, StaircaseReachesOne) {
+  auto cdf = Cdf({3.0, 1.0, 2.0});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 3.0);
+  EXPECT_NEAR(cdf[0].fraction, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf[2].fraction, 1.0);
+}
+
+TEST(Cdf, FormatDownsamples) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(i);
+  const std::string s = FormatCdf(Cdf(values), 10);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 10);
+}
+
+TEST(Summary, TracksMinMaxMean) {
+  Summary s;
+  s.Add(3.0);
+  s.Add(1.0);
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 9.0);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Types, UnboundedRhoIsLargeButFinite) {
+  EXPECT_TRUE(std::isfinite(kUnboundedRho));
+  EXPECT_GT(kUnboundedRho, 1e5);
+}
+
+}  // namespace
+}  // namespace themis

@@ -1,0 +1,159 @@
+// Tests for estimator/: power-law curve fitting and work-left estimation
+// (clairvoyant / noisy / curve-fit modes, Sec. 8.1 & Fig. 11).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "estimator/curve_fit.h"
+#include "estimator/work_estimator.h"
+
+namespace themis {
+namespace {
+
+std::vector<LossSample> SampleCurve(const LossCurve& curve,
+                                    std::initializer_list<double> iters) {
+  std::vector<LossSample> out;
+  for (double i : iters) out.push_back({i, curve.LossAt(i)});
+  return out;
+}
+
+TEST(CurveFit, RecoversExactPowerLaw) {
+  const LossCurve truth(8.0, 0.6, 0.0);
+  const auto fit = FitPowerLaw(SampleCurve(truth, {1, 5, 20, 100, 400}));
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->curve.scale(), 8.0, 1e-6);
+  EXPECT_NEAR(fit->curve.decay(), 0.6, 1e-9);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-9);
+}
+
+TEST(CurveFit, RecoversWithKnownFloor) {
+  const LossCurve truth(5.0, 0.4, 0.3);
+  const auto fit = FitPowerLaw(SampleCurve(truth, {2, 8, 32, 128}), 0.3);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->curve.decay(), 0.4, 1e-9);
+  EXPECT_NEAR(fit->curve.floor(), 0.3, 1e-12);
+}
+
+TEST(CurveFit, ToleratesNoise) {
+  const LossCurve truth(8.0, 0.6, 0.0);
+  std::vector<LossSample> samples;
+  double bump = 1.0;
+  for (double i : {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0}) {
+    bump = -bump;
+    samples.push_back({i, truth.LossAt(i) * (1.0 + 0.02 * bump)});
+  }
+  const auto fit = FitPowerLaw(samples);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->curve.decay(), 0.6, 0.05);
+  EXPECT_GT(fit->r_squared, 0.98);
+}
+
+TEST(CurveFit, RejectsInsufficientSamples) {
+  EXPECT_FALSE(FitPowerLaw({}).has_value());
+  EXPECT_FALSE(FitPowerLaw({{1.0, 2.0}}).has_value());
+  // All at the same iteration: no slope.
+  EXPECT_FALSE(FitPowerLaw({{5.0, 2.0}, {5.0, 2.1}}).has_value());
+}
+
+TEST(CurveFit, RejectsNonConvergingSeries) {
+  // Rising loss -> negative decay -> rejected.
+  EXPECT_FALSE(FitPowerLaw({{1.0, 1.0}, {10.0, 2.0}, {100.0, 4.0}}).has_value());
+}
+
+TEST(CurveFit, IgnoresSamplesAtOrBelowFloor) {
+  const LossCurve truth(8.0, 0.6, 0.1);
+  auto samples = SampleCurve(truth, {1, 10, 100});
+  samples.push_back({1000.0, 0.05});  // below the floor: dropped
+  const auto fit = FitPowerLaw(samples, 0.1);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->curve.decay(), 0.6, 1e-9);
+}
+
+TEST(CurveFit, PredictIterationsMatchesAnalytic) {
+  const LossCurve truth(8.0, 0.6, 0.0);
+  const auto pred =
+      PredictIterationsToTarget(SampleCurve(truth, {1, 10, 100}), 0.5);
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_NEAR(*pred, truth.IterationsToTarget(0.5), 1e-6 * *pred);
+}
+
+TEST(CurveFit, PredictUnreachableTargetIsNullopt) {
+  const LossCurve truth(8.0, 0.6, 0.2);
+  EXPECT_FALSE(PredictIterationsToTarget(SampleCurve(truth, {1, 10, 100}),
+                                         0.1, 0.2)
+                   .has_value());
+}
+
+JobSpec MakeJob(double work = 100.0, double iters = 500.0) {
+  JobSpec job;
+  job.total_work = work;
+  job.total_iterations = iters;
+  job.num_tasks = 1;
+  job.gpus_per_task = 4;
+  const double decay = 0.6;
+  job.loss = LossCurve(0.1 * std::pow(iters + 1.0, decay), decay, 0.0);
+  return job;
+}
+
+TEST(WorkEstimator, ClairvoyantIsExact) {
+  WorkEstimator est({EstimationMode::kClairvoyant, 0.0, 1});
+  const JobSpec job = MakeJob(100.0, 500.0);
+  EXPECT_DOUBLE_EQ(est.TotalWork(job, 0.1), 100.0);
+  EXPECT_DOUBLE_EQ(est.RemainingWork(job, 0.0, 0.1), 100.0);
+  EXPECT_DOUBLE_EQ(est.RemainingWork(job, 250.0, 0.1), 50.0);
+  EXPECT_DOUBLE_EQ(est.RemainingWork(job, 500.0, 0.1), 0.0);
+  EXPECT_DOUBLE_EQ(est.RemainingWork(job, 600.0, 0.1), 0.0);  // never negative
+}
+
+TEST(WorkEstimator, NoisyStaysWithinTheta) {
+  const double theta = 0.2;
+  WorkEstimator est({EstimationMode::kNoisy, theta, 99});
+  const JobSpec job = MakeJob(100.0, 500.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double w = est.RemainingWork(job, 250.0, 0.1);
+    EXPECT_GE(w, 50.0 * (1.0 - theta) - 1e-9);
+    EXPECT_LE(w, 50.0 * (1.0 + theta) + 1e-9);
+  }
+}
+
+TEST(WorkEstimator, NoisyWithZeroThetaIsExact) {
+  WorkEstimator est({EstimationMode::kNoisy, 0.0, 99});
+  const JobSpec job = MakeJob(100.0, 500.0);
+  EXPECT_DOUBLE_EQ(est.RemainingWork(job, 250.0, 0.1), 50.0);
+}
+
+TEST(WorkEstimator, NoisyIsDeterministicPerSeed) {
+  const JobSpec job = MakeJob();
+  WorkEstimator a({EstimationMode::kNoisy, 0.1, 5});
+  WorkEstimator b({EstimationMode::kNoisy, 0.1, 5});
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a.RemainingWork(job, 100.0, 0.1),
+                     b.RemainingWork(job, 100.0, 0.1));
+}
+
+TEST(WorkEstimator, CurveFitApproximatesTruth) {
+  WorkEstimator est({EstimationMode::kCurveFit, 0.0, 1});
+  const JobSpec job = MakeJob(100.0, 500.0);
+  // Power-law loss is exactly fittable, so the estimate should be close.
+  EXPECT_NEAR(est.RemainingWork(job, 250.0, 0.1), 50.0, 1.0);
+  EXPECT_NEAR(est.TotalWork(job, 0.1), 100.0, 1.0);
+}
+
+class NoisyThetaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoisyThetaTest, ErrorBoundHolds) {
+  const double theta = GetParam();
+  WorkEstimator est({EstimationMode::kNoisy, theta, 7});
+  const JobSpec job = MakeJob(80.0, 400.0);
+  for (int i = 0; i < 200; ++i) {
+    const double w = est.RemainingWork(job, 100.0, 0.1);
+    const double truth = 60.0;
+    EXPECT_LE(std::abs(w - truth), theta * truth + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig11Thetas, NoisyThetaTest,
+                         ::testing::Values(0.0, 0.05, 0.10, 0.20));
+
+}  // namespace
+}  // namespace themis

@@ -1,0 +1,172 @@
+// End-to-end integration tests: full simulations exercising the THEMIS
+// scheduler against the baselines, plus the paper's headline qualitative
+// claims (sharing incentive, short-app favoritism, placement sensitivity).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/experiment.h"
+
+namespace themis {
+namespace {
+
+AppSpec SingleJobApp(Time arrival, double work, int gpus,
+                     const char* model = "ResNet50") {
+  AppSpec app;
+  app.arrival = arrival;
+  app.tuner = TunerKind::kNone;
+  app.target_loss = 0.1;
+  JobSpec job;
+  job.total_work = work;
+  job.total_iterations = 1000.0;
+  job.num_tasks = 1;
+  job.gpus_per_task = gpus;
+  job.model = ModelByName(model);
+  job.loss = LossCurve(0.1 * std::pow(1001.0, 0.6), 0.6, 0.0);
+  app.jobs = {job};
+  return app;
+}
+
+TEST(Integration, SharingIncentiveForSimultaneousIdenticalApps) {
+  // N identical apps starting together on a cluster that fits exactly one:
+  // finish-time fairness rho should stay at or below N (plus scheduling
+  // overhead slack) for every app — the Sec. 4 sharing-incentive claim.
+  const int n = 4;
+  std::vector<AppSpec> apps;
+  for (int i = 0; i < n; ++i) apps.push_back(SingleJobApp(0.0, 80.0, 4));
+  ExperimentConfig config;
+  config.cluster = ClusterSpec::Uniform(1, 1, 4, 4);
+  config.policy = PolicyKind::kThemis;
+  config.sim.lease_minutes = 10.0;
+  const ExperimentResult r = RunExperimentWithApps(config, apps);
+  ASSERT_EQ(r.unfinished_apps, 0);
+  for (double rho : r.rhos) EXPECT_LE(rho, n * 1.15);
+}
+
+TEST(Integration, ShortAppsAreFavoredOverLongOnes) {
+  // Fig. 8's qualitative behaviour: a short app competing with a long app
+  // completes near its ideal time because unbounded/worsening rho wins it
+  // early auctions; the long app is not starved.
+  std::vector<AppSpec> apps{SingleJobApp(0.0, 240.0, 4),
+                            SingleJobApp(0.0, 80.0, 4)};
+  ExperimentConfig config;
+  config.cluster = ClusterSpec::Uniform(1, 1, 4, 4);
+  config.policy = PolicyKind::kThemis;
+  config.sim.lease_minutes = 10.0;
+  const ExperimentResult r = RunExperimentWithApps(config, apps);
+  ASSERT_EQ(r.unfinished_apps, 0);
+  const double rho_long = r.rhos[0];
+  const double rho_short = r.rhos[1];
+  // Both get sharing incentive (N = 2) with modest slack.
+  EXPECT_LE(rho_short, 2.4);
+  EXPECT_LE(rho_long, 2.4);
+}
+
+TEST(Integration, ThemisBeatsTiresiasOnMaxFairnessUnderContention) {
+  // The macro result (Fig. 5a): with placement-sensitive apps and heavy
+  // contention, Themis's worst-off app fares better than under LAS.
+  auto run = [&](PolicyKind kind) {
+    auto cfg = SimScaleConfig(kind, 42, 120);
+    cfg.trace.contention_factor = 4.0;
+    return RunExperiment(cfg);
+  };
+  const ExperimentResult themis = run(PolicyKind::kThemis);
+  const ExperimentResult tiresias = run(PolicyKind::kTiresias);
+  ASSERT_EQ(themis.unfinished_apps, 0);
+  ASSERT_EQ(tiresias.unfinished_apps, 0);
+  EXPECT_LT(themis.max_fairness, tiresias.max_fairness);
+}
+
+TEST(Integration, ThemisUsesClusterMoreEfficientlyThanTiresias) {
+  // GPU-time comparison (Fig. 9b's 100%-network-intensive end): packing
+  // sensitive jobs tightly means less total GPU time for the same work.
+  auto run = [&](PolicyKind kind) {
+    auto cfg = SimScaleConfig(kind, 7, 60);
+    cfg.trace.frac_network_intensive = 1.0;
+    cfg.trace.contention_factor = 2.0;
+    return RunExperiment(cfg);
+  };
+  const ExperimentResult themis = run(PolicyKind::kThemis);
+  const ExperimentResult tiresias = run(PolicyKind::kTiresias);
+  EXPECT_LT(themis.gpu_time, tiresias.gpu_time);
+}
+
+TEST(Integration, ThemisPlacementScoresBeatTiresias) {
+  auto run = [&](PolicyKind kind) {
+    auto cfg = SimScaleConfig(kind, 11, 60);
+    cfg.trace.frac_network_intensive = 0.8;
+    cfg.trace.contention_factor = 2.0;
+    return RunExperiment(cfg);
+  };
+  const ExperimentResult themis = run(PolicyKind::kThemis);
+  const ExperimentResult tiresias = run(PolicyKind::kTiresias);
+  double themis_mean = 0.0, tiresias_mean = 0.0;
+  for (double s : themis.placement_scores) themis_mean += s;
+  for (double s : tiresias.placement_scores) tiresias_mean += s;
+  themis_mean /= themis.placement_scores.size();
+  tiresias_mean /= tiresias.placement_scores.size();
+  EXPECT_GT(themis_mean, tiresias_mean);
+}
+
+TEST(Integration, HigherFairnessKnobTightensMaxFairness) {
+  // Fig. 4a's trend: larger f -> fewer, needier participants -> lower
+  // (better) max finish-time fairness.
+  auto run = [&](double f) {
+    auto cfg = SimScaleConfig(PolicyKind::kThemis, 13, 80);
+    cfg.trace.contention_factor = 4.0;
+    cfg.themis.fairness_knob = f;
+    return RunExperiment(cfg).max_fairness;
+  };
+  const double low = run(0.0);
+  const double high = run(0.9);
+  EXPECT_LE(high, low * 1.05);  // allow small noise, trend must hold
+}
+
+TEST(Integration, ErrorInBidsDegradesGracefully) {
+  // Fig. 11: +/-20% valuation error must not blow up max fairness.
+  auto run = [&](double theta) {
+    auto cfg = SimScaleConfig(PolicyKind::kThemis, 17, 60);
+    cfg.trace.contention_factor = 2.0;
+    cfg.sim.estimator.mode =
+        theta > 0.0 ? EstimationMode::kNoisy : EstimationMode::kClairvoyant;
+    cfg.sim.estimator.theta = theta;
+    return RunExperiment(cfg);
+  };
+  const ExperimentResult exact = run(0.0);
+  const ExperimentResult noisy = run(0.2);
+  ASSERT_EQ(noisy.unfinished_apps, 0);
+  EXPECT_LT(noisy.max_fairness, exact.max_fairness * 1.6 + 1.0);
+}
+
+TEST(Integration, AllPoliciesCompleteTestbedScaleWorkload) {
+  for (PolicyKind kind : {PolicyKind::kThemis, PolicyKind::kGandiva,
+                          PolicyKind::kTiresias, PolicyKind::kSlaq}) {
+    const ExperimentResult r = RunExperiment(TestbedScaleConfig(kind, 23, 30));
+    EXPECT_EQ(r.unfinished_apps, 0) << ToString(kind);
+    EXPECT_GT(r.max_fairness, 0.0) << ToString(kind);
+    EXPECT_GT(r.gpu_time, 0.0) << ToString(kind);
+  }
+}
+
+TEST(Integration, CurveFitEstimatorModeRunsEndToEnd) {
+  auto cfg = SimScaleConfig(PolicyKind::kThemis, 29, 25);
+  cfg.sim.estimator.mode = EstimationMode::kCurveFit;
+  const ExperimentResult r = RunExperiment(cfg);
+  EXPECT_EQ(r.unfinished_apps, 0);
+}
+
+TEST(Integration, HyperDriveTunerRunsEndToEnd) {
+  TraceConfig trace;
+  trace.seed = 31;
+  trace.num_apps = 15;
+  auto apps = TraceGenerator(trace).Generate();
+  for (auto& app : apps)
+    if (app.jobs.size() > 1) app.tuner = TunerKind::kHyperDrive;
+  ExperimentConfig config;
+  config.policy = PolicyKind::kThemis;
+  const ExperimentResult r = RunExperimentWithApps(config, std::move(apps));
+  EXPECT_EQ(r.unfinished_apps, 0);
+}
+
+}  // namespace
+}  // namespace themis

@@ -1,0 +1,89 @@
+// Tests for metrics/: the Sec. 8.1 metric definitions.
+#include <gtest/gtest.h>
+
+#include "metrics/collector.h"
+
+namespace themis {
+namespace {
+
+AppRecord Record(AppId app, Time arrival, Time finish, Time ideal,
+                 double score = 1.0) {
+  AppRecord r;
+  r.app = app;
+  r.arrival = arrival;
+  r.finish = finish;
+  r.ideal_time = ideal;
+  r.mean_placement_score = score;
+  return r;
+}
+
+TEST(Metrics, RhoAndCompletionTime) {
+  const AppRecord r = Record(0, 10.0, 40.0, 10.0);
+  EXPECT_DOUBLE_EQ(r.Rho(), 3.0);
+  EXPECT_DOUBLE_EQ(r.CompletionTime(), 30.0);
+}
+
+TEST(Metrics, FairnessAggregates) {
+  MetricsCollector c;
+  c.RecordAppFinish(Record(0, 0.0, 10.0, 10.0));  // rho 1
+  c.RecordAppFinish(Record(1, 0.0, 30.0, 10.0));  // rho 3
+  c.RecordAppFinish(Record(2, 0.0, 20.0, 10.0));  // rho 2
+  EXPECT_DOUBLE_EQ(c.MaxFairness(), 3.0);
+  EXPECT_DOUBLE_EQ(c.MinFairness(), 1.0);
+  EXPECT_DOUBLE_EQ(c.MedianFairness(), 2.0);
+  EXPECT_DOUBLE_EQ(c.AverageCompletionTime(), 20.0);
+  EXPECT_NEAR(c.JainsFairnessIndex(), 36.0 / (3.0 * 14.0), 1e-12);
+}
+
+TEST(Metrics, EmptyCollectorIsNeutral) {
+  MetricsCollector c;
+  EXPECT_DOUBLE_EQ(c.MaxFairness(), 0.0);
+  EXPECT_DOUBLE_EQ(c.MinFairness(), 0.0);
+  EXPECT_DOUBLE_EQ(c.MedianFairness(), 0.0);
+  EXPECT_DOUBLE_EQ(c.AverageCompletionTime(), 0.0);
+  EXPECT_DOUBLE_EQ(c.JainsFairnessIndex(), 1.0);
+  EXPECT_DOUBLE_EQ(c.TotalGpuTime(), 0.0);
+}
+
+TEST(Metrics, GpuTimeAccumulates) {
+  MetricsCollector c;
+  c.RecordGpuTime(10.0);
+  c.RecordGpuTime(5.5);
+  EXPECT_DOUBLE_EQ(c.TotalGpuTime(), 15.5);
+}
+
+TEST(Metrics, PlacementScoresExtracted) {
+  MetricsCollector c;
+  c.RecordAppFinish(Record(0, 0.0, 10.0, 10.0, 0.8));
+  c.RecordAppFinish(Record(1, 0.0, 10.0, 10.0, 0.4));
+  const auto scores = c.PlacementScores();
+  EXPECT_EQ(scores, (std::vector<double>{0.8, 0.4}));
+}
+
+TEST(Metrics, TimelineOrderPreserved) {
+  MetricsCollector c;
+  c.RecordAllocation(1.0, 7, 4);
+  c.RecordAllocation(2.0, 7, 8);
+  ASSERT_EQ(c.timeline().size(), 2u);
+  EXPECT_EQ(c.timeline()[0].gpus, 4);
+  EXPECT_EQ(c.timeline()[1].gpus, 8);
+}
+
+TEST(Metrics, AuctionLeftoverFraction) {
+  MetricsCollector c;
+  c.RecordAuction(3, 10, 8, 2);
+  c.RecordAuction(2, 10, 6, 4);
+  EXPECT_EQ(c.auctions_run(), 2);
+  EXPECT_NEAR(c.MeanLeftoverFraction(), 0.3, 1e-12);
+}
+
+TEST(Metrics, SummaryStringMentionsKeyFields) {
+  MetricsCollector c;
+  c.RecordAppFinish(Record(0, 0.0, 10.0, 10.0));
+  const std::string s = c.SummaryString();
+  EXPECT_NE(s.find("max_rho"), std::string::npos);
+  EXPECT_NE(s.find("jain"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace themis
