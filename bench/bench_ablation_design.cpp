@@ -17,6 +17,7 @@ int main() {
 
   struct Variant {
     const char* name;
+    const char* key;
     ThemisConfig config;
   };
   ThemisConfig base;
@@ -27,11 +28,16 @@ int main() {
   ThemisConfig f_zero = base;
   f_zero.fairness_knob = 0.0;
   const Variant variants[] = {
-      {"Themis (full)", base},
-      {"no hidden payments", no_payments},
-      {"no short-app tie-break", no_tiebreak},
-      {"fairness knob f=0", f_zero},
+      {"Themis (full)", "full", base},
+      {"no hidden payments", "no_payments", no_payments},
+      {"no short-app tie-break", "no_tiebreak", no_tiebreak},
+      {"fairness knob f=0", "f_zero", f_zero},
   };
+
+  BenchReport report("ablation_design");
+  report.Config("cluster", "sim256");
+  report.Config("contention_factor", 4.0);
+  report.Config("trace_seeds", 3.0);
 
   std::printf("=== Ablation: Themis design choices (mean of 3 seeds) ===\n");
   std::printf("%-24s %9s %9s %7s %9s %12s\n", "variant", "max_rho", "med_rho",
@@ -50,6 +56,12 @@ int main() {
     }
     std::printf("%-24s %9.2f %9.2f %7.3f %9.1f %12.0f\n", v.name, mx, med,
                 jain, act, gpu);
+    const std::string tag = v.key;
+    report.Metric("max_rho." + tag, mx);
+    report.Metric("median_rho." + tag, med);
+    report.Metric("jains_index." + tag, jain);
+    report.Metric("avg_act_min." + tag, act);
+    report.Metric("gpu_time_min." + tag, gpu);
   }
-  return 0;
+  return report.Write() ? 0 : 1;
 }

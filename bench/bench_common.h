@@ -1,8 +1,17 @@
 // Shared configuration for the figure benches: one contended simulation
-// setup per paper scale so every figure draws from the same workload shape.
+// setup per paper scale so every figure draws from the same workload shape,
+// plus the machine-readable reporting helper every bench uses to emit
+// BENCH_<name>.json alongside its stdout tables.
 #pragma once
 
+#include <cctype>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/experiment.h"
 
@@ -59,5 +68,101 @@ inline MacroSummary RunMacro(PolicyKind policy) {
 inline constexpr PolicyKind kAllPolicies[] = {
     PolicyKind::kThemis, PolicyKind::kGandiva, PolicyKind::kSlaq,
     PolicyKind::kTiresias};
+
+/// Machine-readable bench output. Each bench constructs one report, records
+/// scalar metrics (and optional config context) as it prints its tables, and
+/// calls Write() at the end to emit BENCH_<name>.json into $BENCH_OUT_DIR
+/// (default: the working directory). The perf-trajectory tooling only needs
+/// (metric name, value, seed, config), so that is the whole schema:
+///
+///   {
+///     "bench": "fig05_fairness_comparison",
+///     "seed": 42,
+///     "config": {"cluster": "testbed50", "contention_factor": 4},
+///     "metrics": [{"name": "max_rho.Themis", "value": 5.06}, ...]
+///   }
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name, std::uint64_t seed = 42)
+      : name_(std::move(name)), seed_(seed) {}
+
+  void Config(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, Quote(value));
+  }
+  void Config(const std::string& key, double value) {
+    config_.emplace_back(key, Number(value));
+  }
+  void Metric(const std::string& name, double value) {
+    metrics_.emplace_back(name, value);
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\n  \"bench\": " + Quote(name_) +
+                      ",\n  \"seed\": " + std::to_string(seed_) +
+                      ",\n  \"config\": {";
+    for (std::size_t i = 0; i < config_.size(); ++i) {
+      if (i) out += ", ";
+      out += Quote(config_[i].first) + ": " + config_[i].second;
+    }
+    out += "},\n  \"metrics\": [";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      out += i ? ",\n    " : "\n    ";
+      out += "{\"name\": " + Quote(metrics_[i].first) +
+             ", \"value\": " + Number(metrics_[i].second) + "}";
+    }
+    out += metrics_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
+  }
+
+  /// Returns true on success; the emitted path is noted on stderr so the
+  /// stdout report stays a clean human-readable table.
+  bool Write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    if (const char* dir = std::getenv("BENCH_OUT_DIR"); dir && *dir)
+      path = std::string(dir) + "/" + path;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    const std::string json = ToJson();
+    const bool ok =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+        std::fclose(f) == 0;
+    if (ok) std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
+    else std::fprintf(stderr, "bench: write to %s failed\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    return out + "\"";
+  }
+
+  static std::string Number(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+  }
+
+  std::string name_;
+  std::uint64_t seed_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace themis::bench

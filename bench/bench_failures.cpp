@@ -14,6 +14,11 @@ int main() {
   using namespace themis;
   using namespace themis::bench;
 
+  BenchReport report("failures");
+  report.Config("cluster", "sim256");
+  report.Config("contention_factor", 4.0);
+  report.Config("repair_minutes", 60.0);
+
   std::printf("=== Extension: machine failures vs fairness (Themis) ===\n");
   std::printf("%14s %10s %9s %9s %10s %12s\n", "MTBF(min)", "failures",
               "max_rho", "med_rho", "avg_ACT", "gpu_time");
@@ -28,8 +33,15 @@ int main() {
     std::printf("%14.0f %10d %9.2f %9.2f %10.1f %12.0f\n", mtbf,
                 r.machine_failures, r.max_fairness, r.median_fairness,
                 r.avg_completion_time, r.gpu_time);
+    char key[48];
+    std::snprintf(key, sizeof key, "max_rho@mtbf=%.0f", mtbf);
+    report.Metric(key, r.max_fairness);
+    std::snprintf(key, sizeof key, "machine_failures@mtbf=%.0f", mtbf);
+    report.Metric(key, static_cast<double>(r.machine_failures));
+    std::snprintf(key, sizeof key, "avg_act_min@mtbf=%.0f", mtbf);
+    report.Metric(key, r.avg_completion_time);
   }
   std::printf("\nexpectation: graceful degradation — fairness and ACT worsen"
               " smoothly as failures become frequent\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 // marginals (see workload/trace_gen.h).
 #include <cstdio>
 
+#include "bench_common.h"
 #include "common/stats.h"
 #include "workload/trace_gen.h"
 
@@ -29,8 +30,19 @@ int main() {
   std::printf("%s", FormatCdf(Cdf(durations), 20).c_str());
   std::printf("\npaper reference: short-task median 59 min, long-task median"
               " 123 min, tail past 1000 min\n");
-  std::printf("measured: p50=%.1f  p80=%.1f  p99=%.1f  max=%.1f\n",
-              Percentile(durations, 50.0), Percentile(durations, 80.0),
-              Percentile(durations, 99.0), Percentile(durations, 100.0));
-  return 0;
+  const double p50 = Percentile(durations, 50.0);
+  const double p80 = Percentile(durations, 80.0);
+  const double p99 = Percentile(durations, 99.0);
+  const double max = Percentile(durations, 100.0);
+  std::printf("measured: p50=%.1f  p80=%.1f  p99=%.1f  max=%.1f\n", p50, p80,
+              p99, max);
+
+  bench::BenchReport report("fig01_task_durations", cfg.seed);
+  report.Config("num_apps", static_cast<double>(cfg.num_apps));
+  report.Metric("num_tasks", static_cast<double>(durations.size()));
+  report.Metric("duration_p50_min", p50);
+  report.Metric("duration_p80_min", p80);
+  report.Metric("duration_p99_min", p99);
+  report.Metric("duration_max_min", max);
+  return report.Write() ? 0 : 1;
 }

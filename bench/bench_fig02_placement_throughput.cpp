@@ -8,6 +8,7 @@
 // across servers while ResNet50 is nearly flat.
 #include <cstdio>
 
+#include "bench_common.h"
 #include "cluster/topology.h"
 #include "placement/placement_model.h"
 
@@ -19,6 +20,9 @@ int main() {
   const std::vector<GpuId> one_server{0, 1, 2, 3};
   const std::vector<GpuId> two_by_two{0, 1, 4, 5};
 
+  bench::BenchReport report("fig02_placement_throughput");
+  report.Config("cluster", "1 rack x 2 machines x 4 GPUs");
+
   std::printf("=== Figure 2: throughput (images/sec) vs placement ===\n");
   std::printf("%-14s %22s %26s %8s\n", "model", "4 GPUs on 1 server",
               "4 GPUs across 2 servers", "ratio");
@@ -27,8 +31,11 @@ int main() {
     const double spread = m.serial_throughput * EffectiveRate(m, two_by_two, topo);
     std::printf("%-14s %22.0f %26.0f %8.2f\n", m.name.c_str(), local, spread,
                 local / spread);
+    report.Metric("throughput_1server." + m.name, local);
+    report.Metric("throughput_2x2." + m.name, spread);
+    report.Metric("placement_ratio." + m.name, local / spread);
   }
   std::printf("\npaper reference: VGG16 ~2x faster on one server; ResNet50"
               " placement-insensitive\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

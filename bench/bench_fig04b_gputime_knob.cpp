@@ -11,6 +11,11 @@ int main() {
   using namespace themis;
   using namespace themis::bench;
 
+  BenchReport report("fig04b_gputime_knob");
+  report.Config("cluster", "sim256");
+  report.Config("contention_factor", 4.0);
+  report.Config("trace_seeds", 5.0);
+
   std::printf("=== Figure 4b: GPU time (mins) vs fairness knob f ===\n");
   std::printf("(mean of 5 trace seeds, 256-GPU simulated cluster)\n");
   std::printf("%6s %14s\n", "f", "gpu_time");
@@ -23,8 +28,11 @@ int main() {
       gpu += RunExperiment(cfg).gpu_time / kSeeds;
     }
     std::printf("%6.1f %14.0f\n", f, gpu);
+    char key[48];
+    std::snprintf(key, sizeof key, "gpu_time_min@f=%.1f", f);
+    report.Metric(key, gpu);
   }
   std::printf("\npaper reference: GPU time grows with f (fairness costs"
               " packing efficiency)\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -19,6 +19,11 @@ int main() {
   // Peak contention depends on how long apps linger, i.e. on the policy;
   // use the Themis run's peak as the shared "ideal" yardstick, analogous to
   // the paper's single 4.76x figure for the whole workload.
+  BenchReport report("fig05_fairness_comparison");
+  report.Config("cluster", "testbed50");
+  report.Config("contention_factor", 4.0);
+  report.Config("trace_seeds", 3.0);
+
   double ideal = 0.0;
   std::printf("%-10s %10s %16s %8s\n", "scheme", "max_rho", "%from_ideal",
               "jain");
@@ -28,10 +33,15 @@ int main() {
     const double pct = 100.0 * (s.max_fairness - ideal) / ideal;
     std::printf("%-10s %10.2f %15.1f%% %8.3f\n", ToString(kind),
                 s.max_fairness, pct, s.jains_index);
+    const std::string scheme = ToString(kind);
+    report.Metric("max_rho." + scheme, s.max_fairness);
+    report.Metric("pct_from_ideal." + scheme, pct);
+    report.Metric("jains_index." + scheme, s.jains_index);
   }
+  report.Metric("ideal_peak_contention", ideal);
   std::printf("(ideal = peak contention %.2f, measured on the Themis run)\n",
               ideal);
   std::printf("\npaper reference: Themis ~7%% from ideal; Gandiva ~68%%,"
               " SLAQ ~2155%%, Tiresias ~1874%%\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

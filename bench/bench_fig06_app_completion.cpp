@@ -12,6 +12,11 @@ int main() {
 
   std::printf("=== Figure 6: app completion time CDF across schemes ===\n");
   std::printf("(mean of 3 trace seeds, 50-GPU testbed-scale cluster)\n");
+  BenchReport report("fig06_app_completion");
+  report.Config("cluster", "testbed50");
+  report.Config("contention_factor", 4.0);
+  report.Config("trace_seeds", 3.0);
+
   double themis_act = 0.0;
   for (PolicyKind kind : kAllPolicies) {
     const MacroSummary s = RunMacro(kind);
@@ -19,13 +24,17 @@ int main() {
                 s.avg_completion_time);
     std::printf("%12s  %6s\n", "ACT(min)", "CDF");
     std::printf("%s", FormatCdf(Cdf(s.last.completion_times), 12).c_str());
+    const std::string scheme = ToString(kind);
+    report.Metric("avg_act_min." + scheme, s.avg_completion_time);
     if (kind == PolicyKind::kThemis) themis_act = s.avg_completion_time;
-    else
-      std::printf("Themis improvement over %s: %.1f%%\n", ToString(kind),
-                  100.0 * (s.avg_completion_time - themis_act) /
-                      s.avg_completion_time);
+    else {
+      const double pct = 100.0 * (s.avg_completion_time - themis_act) /
+                         s.avg_completion_time;
+      std::printf("Themis improvement over %s: %.1f%%\n", ToString(kind), pct);
+      report.Metric("themis_act_improvement_pct." + scheme, pct);
+    }
   }
   std::printf("\npaper reference: Themis ~4.6%% / ~55.5%% / ~24.4%% better than"
               " Gandiva / SLAQ / Tiresias on average ACT\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -12,6 +12,10 @@ int main() {
   using namespace themis;
   using namespace themis::bench;
 
+  BenchReport report("fig07_placement_score");
+  report.Config("cluster", "testbed50");
+  report.Config("contention_factor", 4.0);
+
   std::printf("=== Figure 7: CDF of placement score across schemes ===\n");
   std::printf("(50-GPU testbed-scale cluster)\n");
   for (PolicyKind kind : kAllPolicies) {
@@ -22,8 +26,11 @@ int main() {
     std::printf("\n--- %s (mean score %.3f) ---\n", r.policy_name.c_str(), mean);
     std::printf("%12s  %6s\n", "score", "CDF");
     std::printf("%s", FormatCdf(Cdf(r.placement_scores), 10).c_str());
+    report.Metric("mean_placement_score." + r.policy_name, mean);
+    report.Metric("median_placement_score." + r.policy_name,
+                  Percentile(r.placement_scores, 50.0));
   }
   std::printf("\npaper reference: Themis best, Gandiva close; Tiresias/SLAQ"
               " placement-unaware\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

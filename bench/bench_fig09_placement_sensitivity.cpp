@@ -15,6 +15,11 @@ int main() {
   using namespace themis;
   using namespace themis::bench;
 
+  BenchReport report("fig09_placement_sensitivity");
+  report.Config("cluster", "sim256");
+  report.Config("contention_factor", 4.0);
+  report.Config("num_apps", 100.0);
+
   std::printf("=== Figure 9a: Themis max-fairness improvement over Tiresias"
               " ===\n");
   std::printf("%18s %12s %12s %10s\n", "%net-intensive", "themis_max",
@@ -27,9 +32,13 @@ int main() {
     };
     const ExperimentResult themis = run(PolicyKind::kThemis);
     const ExperimentResult tiresias = run(PolicyKind::kTiresias);
+    const double factor = tiresias.max_fairness / themis.max_fairness;
     std::printf("%17.0f%% %12.2f %12.2f %10.2f\n", frac * 100.0,
-                themis.max_fairness, tiresias.max_fairness,
-                tiresias.max_fairness / themis.max_fairness);
+                themis.max_fairness, tiresias.max_fairness, factor);
+    char key[64];
+    std::snprintf(key, sizeof key, "max_rho_factor_vs_tiresias@net=%.0f%%",
+                  frac * 100.0);
+    report.Metric(key, factor);
   }
   std::printf("\npaper reference: ~1.05x at 0%% rising to ~2.1x at 100%%\n");
 
@@ -41,11 +50,16 @@ int main() {
     for (PolicyKind kind : kAllPolicies) {
       ExperimentConfig cfg = ContendedSimConfig(kind, 42, 100);
       cfg.trace.frac_network_intensive = frac;
-      std::printf(" %12.0f", RunExperiment(cfg).gpu_time);
+      const double gpu_time = RunExperiment(cfg).gpu_time;
+      std::printf(" %12.0f", gpu_time);
+      char key[64];
+      std::snprintf(key, sizeof key, "gpu_time_min.%s@net=%.0f%%",
+                    ToString(kind), frac * 100.0);
+      report.Metric(key, gpu_time);
     }
     std::printf("\n");
   }
   std::printf("\npaper reference: schemes tie at 0%%; Themis pulls ahead as"
               " placement matters more\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -13,6 +13,10 @@ int main() {
   using namespace themis;
   using namespace themis::bench;
 
+  BenchReport report("fig10_contention");
+  report.Config("cluster", "sim256");
+  report.Config("num_apps", 120.0);
+
   std::printf("=== Figure 10: Jain's index vs contention ===\n");
   std::printf("%12s %10s %10s\n", "contention", "Themis", "Tiresias");
   for (double factor : {1.0, 2.0, 4.0}) {
@@ -21,10 +25,16 @@ int main() {
       cfg.trace.contention_factor = factor;
       return RunExperiment(cfg).jains_index;
     };
-    std::printf("%11.0fX %10.3f %10.3f\n", factor, run(PolicyKind::kThemis),
-                run(PolicyKind::kTiresias));
+    const double themis = run(PolicyKind::kThemis);
+    const double tiresias = run(PolicyKind::kTiresias);
+    std::printf("%11.0fX %10.3f %10.3f\n", factor, themis, tiresias);
+    char key[48];
+    std::snprintf(key, sizeof key, "jains_index.Themis@%.0fx", factor);
+    report.Metric(key, themis);
+    std::snprintf(key, sizeof key, "jains_index.Tiresias@%.0fx", factor);
+    report.Metric(key, tiresias);
   }
   std::printf("\npaper reference: Tiresias degrades faster with rising"
               " contention\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -13,6 +13,10 @@ int main() {
   using namespace themis;
   using namespace themis::bench;
 
+  BenchReport report("fig11_bid_error");
+  report.Config("cluster", "sim256");
+  report.Config("contention_factor", 4.0);
+
   std::printf("=== Figure 11: max fairness vs bid valuation error ===\n");
   std::printf("%10s %10s\n", "theta", "max_rho");
   for (double theta : {0.0, 0.05, 0.10, 0.20}) {
@@ -22,8 +26,11 @@ int main() {
     cfg.sim.estimator.theta = theta;
     const ExperimentResult r = RunExperiment(cfg);
     std::printf("%9.0f%% %10.2f\n", theta * 100.0, r.max_fairness);
+    char key[48];
+    std::snprintf(key, sizeof key, "max_rho@theta=%.0f%%", theta * 100.0);
+    report.Metric(key, r.max_fairness);
   }
   std::printf("\npaper reference: max fairness insensitive to up to 20%%"
               " valuation error\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -14,15 +14,22 @@ int main() {
   using namespace themis;
   using namespace themis::bench;
 
+  BenchReport report("motivation_drf");
+  report.Config("cluster", "sim256");
+  report.Config("contention_factor", 4.0);
+  report.Config("trace_seeds", 3.0);
+
   std::printf("=== Motivation (Sec. 2): DRF vs Themis ===\n");
   std::printf("%-22s %-8s %9s %7s %9s %12s\n", "workload", "scheme", "max_rho",
               "jain", "avg_ACT", "gpu_time");
   struct Workload {
     const char* name;
+    const char* key;
     double frac_sensitive;
   };
-  for (const Workload& w : {Workload{"60:40 mixed (trace)", 0.4},
-                            Workload{"all net-intensive", 1.0}}) {
+  for (const Workload& w :
+       {Workload{"60:40 mixed (trace)", "mixed", 0.4},
+        Workload{"all net-intensive", "net_intensive", 1.0}}) {
     for (PolicyKind kind : {PolicyKind::kDrf, PolicyKind::kThemis}) {
       double mx = 0, jain = 0, act = 0, gpu = 0;
       for (std::uint64_t seed : {42ull, 43ull, 44ull}) {
@@ -36,10 +43,15 @@ int main() {
       }
       std::printf("%-22s %-8s %9.2f %7.3f %9.1f %12.0f\n", w.name,
                   ToString(kind), mx, jain, act, gpu);
+      const std::string tag = std::string(ToString(kind)) + "@" + w.key;
+      report.Metric("max_rho." + tag, mx);
+      report.Metric("jains_index." + tag, jain);
+      report.Metric("avg_act_min." + tag, act);
+      report.Metric("gpu_time_min." + tag, gpu);
     }
   }
   std::printf("\npaper reference (qualitative): instantaneous resource\n"
               "fairness violates sharing incentive for placement-sensitive,\n"
               "long-task ML apps; finish-time fairness does not\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -1,0 +1,22 @@
+# Smoke-test driver: run ${SMOKE_COMMAND}, require exit code 0 and non-empty
+# stdout. Used to keep the examples building and runnable under CTest.
+if(NOT SMOKE_COMMAND)
+  message(FATAL_ERROR "SMOKE_COMMAND not set")
+endif()
+
+execute_process(
+  COMMAND ${SMOKE_COMMAND}
+  OUTPUT_VARIABLE smoke_stdout
+  RESULT_VARIABLE smoke_rc
+)
+
+if(NOT smoke_rc EQUAL 0)
+  message(FATAL_ERROR "${SMOKE_COMMAND} exited with ${smoke_rc}")
+endif()
+
+string(STRIP "${smoke_stdout}" smoke_stripped)
+if(smoke_stripped STREQUAL "")
+  message(FATAL_ERROR "${SMOKE_COMMAND} produced no stdout")
+endif()
+
+message("${smoke_stdout}")
