@@ -4,6 +4,7 @@
 // BENCH_<name>.json alongside its stdout tables.
 #pragma once
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdint>
@@ -50,17 +51,34 @@ struct MacroSummary {
   ExperimentResult last;  // one representative run for CDFs
 };
 
+/// Bench-style sweep failure handling: any failed scenario aborts the bench
+/// with its name and error on stderr. Shared by every bench ported to the
+/// SweepRunner so exit semantics and message format stay uniform.
+inline const ExperimentResult& RequireOk(const ScenarioRun& run) {
+  if (!run.ok) {
+    std::fprintf(stderr, "bench: scenario %s failed: %s\n", run.name.c_str(),
+                 run.error.c_str());
+    std::exit(1);
+  }
+  return run.result;
+}
+
 inline MacroSummary RunMacro(PolicyKind policy) {
+  // The three seed runs are independent simulations; the SweepRunner
+  // executes them in parallel and hands results back in seed order, so the
+  // aggregation (and its floating-point addition order) matches the old
+  // serial loop exactly.
+  const std::vector<ScenarioSpec> specs = PolicySeedGrid(
+      ContendedTestbedConfig(policy), {policy}, {42, 43, 44});
   MacroSummary out;
-  const std::uint64_t seeds[] = {42, 43, 44};
-  for (std::uint64_t seed : seeds) {
-    ExperimentResult r = RunExperiment(ContendedTestbedConfig(policy, seed));
-    out.max_fairness += r.max_fairness / 3.0;
-    out.jains_index += r.jains_index / 3.0;
-    out.avg_completion_time += r.avg_completion_time / 3.0;
-    out.gpu_time += r.gpu_time / 3.0;
-    out.peak_contention += r.peak_contention / 3.0;
-    out.last = std::move(r);
+  for (ScenarioRun& run : SweepRunner().Run(specs)) {
+    RequireOk(run);
+    out.max_fairness += run.result.max_fairness / 3.0;
+    out.jains_index += run.result.jains_index / 3.0;
+    out.avg_completion_time += run.result.avg_completion_time / 3.0;
+    out.gpu_time += run.result.gpu_time / 3.0;
+    out.peak_contention += run.result.peak_contention / 3.0;
+    out.last = std::move(run.result);
   }
   return out;
 }
@@ -68,6 +86,52 @@ inline MacroSummary RunMacro(PolicyKind policy) {
 inline constexpr PolicyKind kAllPolicies[] = {
     PolicyKind::kThemis, PolicyKind::kGandiva, PolicyKind::kSlaq,
     PolicyKind::kTiresias};
+
+// ---------------------------------------------------------------------------
+// Cluster-churn workload shared by bench_fig02_placement_throughput and
+// bench_overheads' BM_ClusterPassChurn, so both benches measure the *same*
+// definition of "one scheduler-pass-shaped round" on the indexed cluster.
+// ---------------------------------------------------------------------------
+
+/// Topology for a churn sweep point: up to 64 machines per rack. The
+/// realized machine count is racks * machines_per_rack, which rounds
+/// `requested_machines` down when it does not divide evenly — callers must
+/// report the realized size, not the request.
+inline ClusterSpec ChurnSweepTopology(int requested_machines,
+                                      int gpus_per_machine) {
+  const int racks = std::max(1, requested_machines / 64);
+  return ClusterSpec::Uniform(
+      racks, /*machines_per_rack=*/requested_machines / racks,
+      gpus_per_machine,
+      /*gpus_per_slot=*/gpus_per_machine % 4 == 0 ? 4 : 1);
+}
+
+/// Lease every GPU to one of `apps` apps with staggered expiries — the
+/// steady contended state the churn rounds cycle through.
+inline void ChurnPrefill(Cluster& cluster, int apps) {
+  for (GpuId g = 0; g < static_cast<GpuId>(cluster.num_gpus()); ++g)
+    cluster.Allocate(g, g % apps, g % 4, 20.0 + g % 200);
+}
+
+/// One scheduler-pass-shaped round: reclaim expired leases, rebuild the
+/// free views (offer vector + pool), probe every app's holdings, re-grant
+/// the pool. Returns a checksum of the query results so callers can keep
+/// the work observable to the optimizer.
+inline std::size_t ClusterPassChurnRound(Cluster& cluster, int apps,
+                                         Time now) {
+  std::size_t sink = 0;
+  for (GpuId g : cluster.ExpiredGpus(now)) cluster.Release(g);
+  const std::vector<int> per_machine = cluster.FreeGpusPerMachine();
+  const std::vector<GpuId> free = cluster.FreeGpus();
+  sink += per_machine.size();
+  for (AppId a = 0; a < static_cast<AppId>(apps); ++a)
+    sink += cluster.GpusHeldBy(a).size();
+  for (GpuId g : free)
+    cluster.Allocate(g, g % apps, g % 4, now + 20.0 + (g * 7) % 200);
+  const Time next = cluster.NextExpiryAfter(now);
+  if (next < kInfiniteTime) sink += static_cast<std::size_t>(next);
+  return sink;
+}
 
 /// Machine-readable bench output. Each bench constructs one report, records
 /// scalar metrics (and optional config context) as it prints its tables, and

@@ -21,13 +21,32 @@ int main() {
   std::printf("=== Figure 4a: finish-time fairness vs fairness knob f ===\n");
   std::printf("(mean of 5 trace seeds, 256-GPU simulated cluster)\n");
   std::printf("%6s %10s %10s %10s\n", "f", "min_rho", "median_rho", "max_rho");
-  for (double f : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
-    double mn = 0.0, med = 0.0, mx = 0.0;
-    const int kSeeds = 5;
+
+  // The f x seed grid is one parallel sweep; results come back in input
+  // order, so the per-f averages below aggregate the same runs in the same
+  // order as the old nested serial loops.
+  const double knobs[] = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  const int kSeeds = 5;
+  std::vector<ScenarioSpec> specs;
+  for (double f : knobs) {
     for (std::uint64_t seed = 42; seed < 42 + kSeeds; ++seed) {
-      ExperimentConfig cfg = ContendedSimConfig(PolicyKind::kThemis, seed);
-      cfg.themis.fairness_knob = f;
-      const ExperimentResult r = RunExperiment(cfg);
+      char name[48];
+      std::snprintf(name, sizeof name, "f%.1f/seed%llu", f,
+                    static_cast<unsigned long long>(seed));
+      ScenarioSpec spec;
+      spec.name = name;
+      spec.config = ContendedSimConfig(PolicyKind::kThemis, seed);
+      spec.config.themis.fairness_knob = f;
+      specs.push_back(std::move(spec));
+    }
+  }
+  const std::vector<ScenarioRun> runs = SweepRunner().Run(specs);
+
+  for (std::size_t ki = 0; ki < std::size(knobs); ++ki) {
+    const double f = knobs[ki];
+    double mn = 0.0, med = 0.0, mx = 0.0;
+    for (int s = 0; s < kSeeds; ++s) {
+      const ExperimentResult& r = RequireOk(runs[ki * kSeeds + s]);
       mn += r.min_fairness / kSeeds;
       med += r.median_fairness / kSeeds;
       mx += r.max_fairness / kSeeds;

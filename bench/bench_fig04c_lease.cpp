@@ -19,14 +19,30 @@ int main() {
   std::printf("=== Figure 4c: max finish-time fairness vs lease time ===\n");
   std::printf("(mean of 5 trace seeds, 256-GPU simulated cluster)\n");
   std::printf("%12s %10s\n", "lease(min)", "max_rho");
-  for (double lease : {5.0, 10.0, 20.0, 30.0, 40.0}) {
-    double mx = 0.0;
-    const int kSeeds = 5;
+
+  // One parallel sweep over the lease x seed grid (results in input order).
+  const double leases[] = {5.0, 10.0, 20.0, 30.0, 40.0};
+  const int kSeeds = 5;
+  std::vector<ScenarioSpec> specs;
+  for (double lease : leases) {
     for (std::uint64_t seed = 42; seed < 42 + kSeeds; ++seed) {
-      ExperimentConfig cfg = ContendedSimConfig(PolicyKind::kThemis, seed);
-      cfg.sim.lease_minutes = lease;
-      mx += RunExperiment(cfg).max_fairness / kSeeds;
+      char name[48];
+      std::snprintf(name, sizeof name, "lease%.0f/seed%llu", lease,
+                    static_cast<unsigned long long>(seed));
+      ScenarioSpec spec;
+      spec.name = name;
+      spec.config = ContendedSimConfig(PolicyKind::kThemis, seed);
+      spec.config.sim.lease_minutes = lease;
+      specs.push_back(std::move(spec));
     }
+  }
+  const std::vector<ScenarioRun> runs = SweepRunner().Run(specs);
+
+  for (std::size_t li = 0; li < std::size(leases); ++li) {
+    const double lease = leases[li];
+    double mx = 0.0;
+    for (int s = 0; s < kSeeds; ++s)
+      mx += RequireOk(runs[li * kSeeds + s]).max_fairness / kSeeds;
     std::printf("%12.0f %10.2f\n", lease, mx);
     char key[48];
     std::snprintf(key, sizeof key, "max_rho@lease=%.0fmin", lease);

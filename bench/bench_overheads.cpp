@@ -9,9 +9,11 @@
 // count, which google-benchmark's arguments sweep below.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 
+#include "bench_common.h"
 #include "core/agent.h"
 #include "core/themis_policy.h"
 #include "sim/experiment.h"
@@ -116,6 +118,26 @@ void BM_FullSimulation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullSimulation)->Unit(benchmark::kMillisecond);
+
+/// Indexed-cluster churn at large topologies: one scheduler-pass-shaped
+/// round (bench::ClusterPassChurnRound — reclaim expired, rebuild free
+/// views, probe every app's holdings, re-grant; the same round
+/// bench_fig02_placement_throughput sweeps) on a cluster of `machines` x 8
+/// GPUs. The scan-based cluster was O(gpus) per query; the indexed one is
+/// O(result + log gpus).
+void BM_ClusterPassChurn(benchmark::State& state) {
+  const int machines = static_cast<int>(state.range(0));
+  Cluster cluster(bench::ChurnSweepTopology(machines, 8));
+  const int apps = cluster.num_machines();
+  bench::ChurnPrefill(cluster, apps);
+  Time now = 20.0;
+  for (auto _ : state) {
+    now += 0.4;
+    benchmark::DoNotOptimize(bench::ClusterPassChurnRound(cluster, apps, now));
+  }
+}
+BENCHMARK(BM_ClusterPassChurn)->Arg(64)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace themis

@@ -5,10 +5,13 @@
 //              [--apps N] [--seed S] [--contention C] [--lease MIN]
 //              [--knob F] [--theta T] [--mtbf MIN] [--sensitive FRAC]
 //              [--trace-out FILE] [--trace-in FILE] [--cdf]
+//              [--sweep SCENARIOS.json] [--threads N]
 //
 // Generates (or loads) a trace, runs one simulation, prints the Sec. 8.1
 // metric summary, and optionally archives the trace as CSV for later
 // replay (`--trace-out` then `--trace-in` reproduces results exactly).
+// With --sweep, runs every scenario in the JSON file on the thread-pooled
+// SweepRunner instead (see examples/scenarios.json for the format).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,6 +19,7 @@
 
 #include "common/stats.h"
 #include "sim/experiment.h"
+#include "sim/scenario.h"
 #include "workload/trace_io.h"
 
 namespace {
@@ -29,19 +33,44 @@ using namespace themis;
                "          [--seed S] [--contention C] [--lease MIN]\n"
                "          [--knob F] [--theta T] [--mtbf MIN]\n"
                "          [--sensitive FRAC] [--trace-out FILE]\n"
-               "          [--trace-in FILE] [--cdf]\n",
+               "          [--trace-in FILE] [--cdf]\n"
+               "          [--sweep SCENARIOS.json] [--threads N]\n",
                argv0);
   std::exit(2);
 }
 
 PolicyKind ParsePolicy(const std::string& name) {
-  if (name == "themis") return PolicyKind::kThemis;
-  if (name == "gandiva") return PolicyKind::kGandiva;
-  if (name == "tiresias") return PolicyKind::kTiresias;
-  if (name == "slaq") return PolicyKind::kSlaq;
-  if (name == "drf") return PolicyKind::kDrf;
-  std::fprintf(stderr, "unknown policy: %s\n", name.c_str());
-  std::exit(2);
+  try {
+    return PolicyKindFromString(name);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
+  }
+}
+
+int RunSweep(const std::string& path, int threads) {
+  std::vector<ScenarioSpec> scenarios;
+  try {
+    scenarios = LoadScenariosFile(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  std::printf("%-22s %-10s %10s %8s %12s %8s\n", "scenario", "policy",
+              "max_rho", "jain", "avg_ACT", "unfin");
+  int failures = 0;
+  for (const ScenarioRun& run : SweepRunner(threads).Run(scenarios)) {
+    if (!run.ok) {
+      std::printf("%-22s FAILED: %s\n", run.name.c_str(), run.error.c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("%-22s %-10s %10.2f %8.3f %12.1f %8d\n", run.name.c_str(),
+                run.result.policy_name.c_str(), run.result.max_fairness,
+                run.result.jains_index, run.result.avg_completion_time,
+                run.result.unfinished_apps);
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 ClusterSpec ParseCluster(const std::string& name) {
@@ -63,8 +92,12 @@ int main(int argc, char** argv) {
   ExperimentConfig config;
   config.cluster = ClusterSpec::Simulation256();
   config.trace.num_apps = 60;
-  std::string trace_in, trace_out;
+  std::string trace_in, trace_out, sweep_file;
+  int sweep_threads = 0;
   bool print_cdf = false;
+  // Sweep mode takes every setting from the scenario file; reject
+  // single-run flags alongside --sweep instead of silently dropping them.
+  const char* single_run_flag = nullptr;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -72,6 +105,9 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) Usage(argv[0]);
       return argv[++i];
     };
+    if (arg != "--sweep" && arg != "--threads" && arg != "--help" &&
+        arg != "-h")
+      single_run_flag = argv[i];
     if (arg == "--policy") config.policy = ParsePolicy(next());
     else if (arg == "--cluster") config.cluster = ParseCluster(next());
     else if (arg == "--apps") config.trace.num_apps = std::atoi(next().c_str());
@@ -94,11 +130,28 @@ int main(int argc, char** argv) {
     else if (arg == "--trace-in") trace_in = next();
     else if (arg == "--trace-out") trace_out = next();
     else if (arg == "--cdf") print_cdf = true;
+    else if (arg == "--sweep") sweep_file = next();
+    else if (arg == "--threads") sweep_threads = std::atoi(next().c_str());
     else if (arg == "--help" || arg == "-h") Usage(argv[0]);
     else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       Usage(argv[0]);
     }
+  }
+
+  if (!sweep_file.empty()) {
+    if (single_run_flag != nullptr) {
+      std::fprintf(stderr,
+                   "--sweep runs scenarios from the file and cannot be "
+                   "combined with %s\n",
+                   single_run_flag);
+      return 2;
+    }
+    return RunSweep(sweep_file, sweep_threads);
+  }
+  if (sweep_threads != 0) {
+    std::fprintf(stderr, "--threads only applies to --sweep runs\n");
+    return 2;
   }
 
   std::vector<AppSpec> apps;

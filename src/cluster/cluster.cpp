@@ -1,5 +1,6 @@
 #include "cluster/cluster.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace themis {
@@ -7,45 +8,63 @@ namespace themis {
 Cluster::Cluster(ClusterSpec spec)
     : topo_(std::move(spec)),
       leases_(topo_.num_gpus()),
-      machine_down_(topo_.num_machines(), false) {}
+      machine_down_(topo_.num_machines(), false),
+      free_on_machine_(topo_.num_machines()) {
+  for (MachineId m = 0; m < static_cast<MachineId>(topo_.num_machines()); ++m)
+    free_on_machine_[m] = topo_.machine_gpus(m);  // ascending by construction
+}
+
+void Cluster::TakeFromFreeList(GpuId gpu) {
+  auto& free = free_on_machine_[topo_.gpu(gpu).machine];
+  // The caller verified the GPU is free, so it must be listed.
+  free.erase(std::lower_bound(free.begin(), free.end(), gpu));
+}
+
+void Cluster::ReturnToFreeList(GpuId gpu) {
+  auto& free = free_on_machine_[topo_.gpu(gpu).machine];
+  free.insert(std::lower_bound(free.begin(), free.end(), gpu), gpu);
+}
 
 std::vector<GpuId> Cluster::FreeGpus() const {
   std::vector<GpuId> out;
-  out.reserve(leases_.size());
-  for (GpuId g = 0; g < leases_.size(); ++g)
-    if (!leases_[g] && !machine_down_[topo_.gpu(g).machine]) out.push_back(g);
+  out.reserve(num_gpus() - num_allocated_);
+  for (MachineId m = 0; m < free_on_machine_.size(); ++m) {
+    if (machine_down_[m]) continue;
+    out.insert(out.end(), free_on_machine_[m].begin(),
+               free_on_machine_[m].end());
+  }
   return out;
 }
 
 std::vector<int> Cluster::FreeGpusPerMachine() const {
-  std::vector<int> out(topo_.num_machines(), 0);
-  for (GpuId g = 0; g < leases_.size(); ++g)
-    if (!leases_[g] && !machine_down_[topo_.gpu(g).machine])
-      ++out[topo_.gpu(g).machine];
+  std::vector<int> out(free_on_machine_.size());
+  for (MachineId m = 0; m < out.size(); ++m)
+    out[m] = machine_down_[m] ? 0
+                              : static_cast<int>(free_on_machine_[m].size());
   return out;
 }
 
 std::vector<GpuId> Cluster::FreeGpusOnMachine(MachineId m) const {
-  std::vector<GpuId> out;
-  if (machine_down_[m]) return out;
-  for (GpuId g : topo_.machine_gpus(m))
-    if (!leases_[g]) out.push_back(g);
-  return out;
+  if (machine_down_[m]) return {};
+  return free_on_machine_[m];
 }
 
 std::vector<GpuId> Cluster::GpusHeldBy(AppId app) const {
   std::vector<GpuId> out;
-  for (GpuId g = 0; g < leases_.size(); ++g)
-    if (leases_[g] && leases_[g]->app == app) out.push_back(g);
+  const auto it = holdings_.find(app);
+  if (it == holdings_.end()) return out;
+  for (const auto& [job, gpus] : it->second)
+    out.insert(out.end(), gpus.begin(), gpus.end());
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<GpuId> Cluster::GpusHeldBy(AppId app, JobId job) const {
-  std::vector<GpuId> out;
-  for (GpuId g = 0; g < leases_.size(); ++g)
-    if (leases_[g] && leases_[g]->app == app && leases_[g]->job == job)
-      out.push_back(g);
-  return out;
+  const auto it = holdings_.find(app);
+  if (it == holdings_.end()) return {};
+  const auto jt = it->second.find(job);
+  if (jt == it->second.end()) return {};
+  return {jt->second.begin(), jt->second.end()};
 }
 
 void Cluster::Allocate(GpuId gpu, AppId app, JobId job, Time expiry) {
@@ -56,47 +75,71 @@ void Cluster::Allocate(GpuId gpu, AppId app, JobId job, Time expiry) {
     throw std::logic_error("Allocate: machine is down");
   leases_[gpu] = Lease{app, job, expiry};
   ++num_allocated_;
+  TakeFromFreeList(gpu);
+  expiries_.emplace(expiry, gpu);
+  holdings_[app][job].insert(gpu);
+}
+
+void Cluster::ReleaseIndexed(GpuId gpu, const Lease& lease) {
+  expiries_.erase({lease.expiry, gpu});
+  const auto it = holdings_.find(lease.app);
+  if (it != holdings_.end()) {
+    const auto jt = it->second.find(lease.job);
+    if (jt != it->second.end()) {
+      jt->second.erase(gpu);
+      if (jt->second.empty()) it->second.erase(jt);
+    }
+    if (it->second.empty()) holdings_.erase(it);
+  }
+  leases_[gpu].reset();
+  --num_allocated_;
+  ReturnToFreeList(gpu);
 }
 
 void Cluster::Release(GpuId gpu) {
   if (gpu >= leases_.size()) throw std::out_of_range("Release: bad GPU id");
   if (!leases_[gpu]) throw std::logic_error("Release: GPU already free");
-  leases_[gpu].reset();
-  --num_allocated_;
+  ReleaseIndexed(gpu, *leases_[gpu]);
 }
 
 void Cluster::ReleaseAll(AppId app) {
-  for (GpuId g = 0; g < leases_.size(); ++g)
-    if (leases_[g] && leases_[g]->app == app) {
-      leases_[g].reset();
-      --num_allocated_;
-    }
+  const auto it = holdings_.find(app);
+  if (it == holdings_.end()) return;
+  // Flatten first: ReleaseIndexed mutates the holdings map being walked.
+  std::vector<GpuId> held;
+  for (const auto& [job, gpus] : it->second)
+    held.insert(held.end(), gpus.begin(), gpus.end());
+  for (GpuId g : held) ReleaseIndexed(g, *leases_[g]);
 }
 
 std::vector<GpuId> Cluster::ExpiredGpus(Time now) const {
   std::vector<GpuId> out;
-  for (GpuId g = 0; g < leases_.size(); ++g)
-    if (leases_[g] && leases_[g]->expiry <= now) out.push_back(g);
+  for (auto it = expiries_.begin();
+       it != expiries_.end() && it->first <= now; ++it)
+    out.push_back(it->second);
+  std::sort(out.begin(), out.end());
   return out;
+}
+
+Time Cluster::NextExpiryAfter(Time t) const {
+  const auto it = expiries_.upper_bound(
+      {t, std::numeric_limits<GpuId>::max()});
+  return it == expiries_.end() ? kInfiniteTime : it->first;
 }
 
 void Cluster::Renew(GpuId gpu, Time new_expiry) {
   if (gpu >= leases_.size() || !leases_[gpu])
     throw std::logic_error("Renew: GPU not leased");
+  expiries_.erase({leases_[gpu]->expiry, gpu});
   leases_[gpu]->expiry = new_expiry;
+  expiries_.emplace(new_expiry, gpu);
 }
 
 void Cluster::SetMachineDown(MachineId machine, bool down) {
   if (machine >= machine_down_.size())
     throw std::out_of_range("SetMachineDown: bad machine id");
+  if (machine_down_[machine] != down) num_machines_down_ += down ? 1 : -1;
   machine_down_[machine] = down;
-}
-
-int Cluster::num_machines_down() const {
-  int n = 0;
-  for (bool d : machine_down_)
-    if (d) ++n;
-  return n;
 }
 
 }  // namespace themis

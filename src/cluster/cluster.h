@@ -5,9 +5,24 @@
 // the ARBITER auctions off. The Cluster class enforces the single-owner
 // invariant (a GPU is held by at most one app at a time) and provides the
 // free-GPU views the policies consume.
+//
+// State is *indexed*, not scanned: alongside the per-GPU lease table (the
+// ground truth) the cluster maintains
+//   - a per-machine sorted free-GPU list (free views in O(free + machines)),
+//   - an ordered set of (expiry, gpu) pairs (expiry queries and the next
+//     lease tick in O(log n)),
+//   - a per-(app, job) holdings map (holdings queries and ReleaseAll in time
+//     proportional to the app's holdings, not the cluster size).
+// Every mutation (Allocate / Release / ReleaseAll / Renew) keeps the indices
+// consistent with the lease table; the query API is unchanged from the
+// scan-based implementation and returns identically ordered results.
 #pragma once
 
+#include <map>
 #include <optional>
+#include <set>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cluster/topology.h"
@@ -55,9 +70,14 @@ class Cluster {
   /// Release every GPU held by the app (e.g., app finished).
   void ReleaseAll(AppId app);
 
-  /// GPUs whose lease expired at or before `now`. Does not release them;
-  /// the simulator decides when reclaimed GPUs enter an auction.
+  /// GPUs whose lease expired at or before `now`, ascending GPU-id order.
+  /// Does not release them; the simulator decides when reclaimed GPUs enter
+  /// an auction.
   std::vector<GpuId> ExpiredGpus(Time now) const;
+
+  /// Earliest lease expiry strictly after `t`; kInfiniteTime when no lease
+  /// expires later. Drives the simulator's next lease tick without scanning.
+  Time NextExpiryAfter(Time t) const;
 
   /// Extend the lease on a GPU already held by `app` (lease renewal when an
   /// app wins back its own GPUs).
@@ -68,16 +88,37 @@ class Cluster {
   /// the GPUs an app held on the failed machine is the simulator's job.
   void SetMachineDown(MachineId machine, bool down);
   bool IsMachineDown(MachineId machine) const { return machine_down_[machine]; }
-  int num_machines_down() const;
+  int num_machines_down() const { return num_machines_down_; }
 
   int num_allocated() const { return num_allocated_; }
   int num_free() const { return num_gpus() - num_allocated_; }
 
  private:
+  /// Remove `gpu` from the free list of its machine (on allocation).
+  void TakeFromFreeList(GpuId gpu);
+  /// Return `gpu` to the free list of its machine (on release).
+  void ReturnToFreeList(GpuId gpu);
+  /// Drop one GPU's lease plus every index entry derived from it.
+  void ReleaseIndexed(GpuId gpu, const Lease& lease);
+
   Topology topo_;
+  /// Ground truth: per-GPU lease. The indices below are derived views.
   std::vector<std::optional<Lease>> leases_;
   std::vector<bool> machine_down_;
   int num_allocated_ = 0;
+  int num_machines_down_ = 0;
+
+  /// Free GPUs per machine, each list sorted ascending. Machine GPU ids are
+  /// contiguous, so concatenating the lists in machine order yields the
+  /// global ascending free list.
+  std::vector<std::vector<GpuId>> free_on_machine_;
+
+  /// (expiry, gpu) for every leased GPU; begin() is the earliest expiry.
+  std::set<std::pair<Time, GpuId>> expiries_;
+
+  /// app -> job -> sorted GPUs held. Ascending iteration of the outer map is
+  /// not required (queries are per-app), so it hashes.
+  std::unordered_map<AppId, std::map<JobId, std::set<GpuId>>> holdings_;
 };
 
 }  // namespace themis

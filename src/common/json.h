@@ -1,0 +1,60 @@
+// Minimal JSON reader for scenario files (src/sim/scenario.*).
+//
+// Supports the full JSON value grammar (objects, arrays, strings with
+// escapes, numbers, booleans, null) with line-numbered parse errors. It is a
+// *reader*: the experiment layer needs to load ScenarioSpec files, nothing
+// more, so there is no DOM mutation or serialization — BenchReport already
+// owns JSON emission (bench/bench_common.h).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace themis {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parse one JSON document. Throws std::runtime_error with a line number
+  /// on malformed input or trailing garbage.
+  static JsonValue Parse(const std::string& text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::runtime_error on type mismatch.
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& items() const;
+  /// Object members in document order (duplicate keys keep both; Find
+  /// returns the first).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Member lookup on an object; nullptr when absent (or not an object).
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Convenience lookups with defaults, for knob-style scenario fields.
+  double NumberOr(const std::string& key, double fallback) const;
+  bool BoolOr(const std::string& key, bool fallback) const;
+  std::string StringOr(const std::string& key, const std::string& fallback) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace themis

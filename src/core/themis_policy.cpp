@@ -41,9 +41,10 @@ void ThemisPolicy::Schedule(const std::vector<GpuId>& free_gpus,
       candidates.begin(),
       candidates.begin() + std::min<std::size_t>(n_offer, candidates.size()));
 
-  // Step 3: collect bids.
-  std::vector<int> offered(ctx.topology().num_machines(), 0);
-  for (GpuId g : free_gpus) ++offered[ctx.topology().gpu(g).machine];
+  // Step 3: collect bids. The offered resource vector R-> is the per-machine
+  // free count the context precomputed from the cluster indices — no
+  // recount of the pool here.
+  const std::vector<int>& offered = ctx.free_per_machine();
 
   std::vector<AgentBid> bids;
   std::vector<BidTable> tables;

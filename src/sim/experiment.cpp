@@ -1,11 +1,16 @@
 #include "sim/experiment.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <stdexcept>
+#include <thread>
 
 #include "baselines/drf.h"
 #include "baselines/gandiva.h"
 #include "baselines/slaq.h"
 #include "baselines/tiresias.h"
+#include "workload/trace_io.h"
 
 namespace themis {
 
@@ -18,6 +23,18 @@ const char* ToString(PolicyKind kind) {
     case PolicyKind::kDrf: return "DRF";
   }
   return "?";
+}
+
+PolicyKind PolicyKindFromString(const std::string& name) {
+  std::string lower;
+  for (char c : name) lower += static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  if (lower == "themis") return PolicyKind::kThemis;
+  if (lower == "gandiva") return PolicyKind::kGandiva;
+  if (lower == "tiresias") return PolicyKind::kTiresias;
+  if (lower == "slaq") return PolicyKind::kSlaq;
+  if (lower == "drf") return PolicyKind::kDrf;
+  throw std::runtime_error("unknown policy: " + name);
 }
 
 std::unique_ptr<ISchedulerPolicy> MakePolicy(PolicyKind kind,
@@ -89,6 +106,80 @@ ExperimentConfig TestbedScaleConfig(PolicyKind policy, std::uint64_t seed,
   config.sim.seed = seed;
   config.sim.lease_minutes = 10.0;
   return config;
+}
+
+const ExperimentResult& ScenarioRun::ResultOrThrow() const {
+  if (!ok) throw std::runtime_error(name + ": " + error);
+  return result;
+}
+
+std::uint64_t DeriveScenarioSeed(std::uint64_t base_seed, std::size_t index) {
+  // splitmix64: decorrelates adjacent indices while staying reproducible.
+  std::uint64_t z = base_seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<ScenarioSpec> PolicySeedGrid(
+    const ExperimentConfig& base, const std::vector<PolicyKind>& policies,
+    const std::vector<std::uint64_t>& seeds) {
+  std::vector<ScenarioSpec> out;
+  out.reserve(policies.size() * seeds.size());
+  for (PolicyKind policy : policies) {
+    for (std::uint64_t seed : seeds) {
+      ScenarioSpec spec;
+      spec.name = std::string(ToString(policy)) + "/seed" + std::to_string(seed);
+      spec.config = base;
+      spec.config.policy = policy;
+      spec.config.trace.seed = seed;
+      spec.config.sim.seed = seed;
+      out.push_back(std::move(spec));
+    }
+  }
+  return out;
+}
+
+std::vector<ScenarioRun> SweepRunner::Run(
+    const std::vector<ScenarioSpec>& scenarios) const {
+  std::vector<ScenarioRun> out(scenarios.size());
+  if (scenarios.empty()) return out;
+
+  // Each worker claims the next unstarted scenario; every simulation is
+  // self-contained, so slot i's result is independent of scheduling order.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (std::size_t i; (i = next.fetch_add(1)) < scenarios.size();) {
+      const ScenarioSpec& spec = scenarios[i];
+      ScenarioRun& run = out[i];
+      run.name = spec.name;
+      try {
+        run.result =
+            spec.trace_csv.empty()
+                ? RunExperiment(spec.config)
+                : RunExperimentWithApps(spec.config,
+                                        ReadTraceCsvFile(spec.trace_csv));
+        run.ok = true;
+      } catch (const std::exception& e) {
+        run.error = e.what();
+      }
+    }
+  };
+
+  int threads = num_threads_ > 0
+                    ? num_threads_
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  threads = std::max(1, std::min<int>(threads,
+                                      static_cast<int>(scenarios.size())));
+  if (threads == 1) {
+    worker();
+    return out;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return out;
 }
 
 ExperimentConfig SimScaleConfig(PolicyKind policy, std::uint64_t seed,

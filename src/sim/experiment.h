@@ -16,6 +16,9 @@ namespace themis {
 enum class PolicyKind { kThemis, kGandiva, kTiresias, kSlaq, kDrf };
 
 const char* ToString(PolicyKind kind);
+/// Case-insensitive inverse of ToString ("themis", "drf", ...). Throws
+/// std::runtime_error on unknown names; shared by the CLI and scenario JSON.
+PolicyKind PolicyKindFromString(const std::string& name);
 std::unique_ptr<ISchedulerPolicy> MakePolicy(PolicyKind kind,
                                              ThemisConfig themis_config = {});
 
@@ -60,5 +63,60 @@ ExperimentConfig TestbedScaleConfig(PolicyKind policy, std::uint64_t seed = 42,
 /// cluster, mean inter-arrival 20 min.
 ExperimentConfig SimScaleConfig(PolicyKind policy, std::uint64_t seed = 42,
                                 int num_apps = 80);
+
+// ---------------------------------------------------------------------------
+// Scenario sweeps: one named experiment per ScenarioSpec, many of them run
+// in parallel on a thread pool. Each simulation is self-contained (own RNGs,
+// own metrics), so parallel execution is bit-identical to serial execution.
+// ---------------------------------------------------------------------------
+
+/// One experiment in a sweep: topology + trace + policy + knobs, optionally
+/// replaying an archived CSV trace instead of generating one. JSON loading
+/// lives in sim/scenario.h.
+struct ScenarioSpec {
+  std::string name;
+  ExperimentConfig config;
+  /// When non-empty, load apps from this WriteTraceCsv archive instead of
+  /// generating from config.trace.
+  std::string trace_csv;
+};
+
+/// Outcome of one scenario. A scenario that throws (bad trace file, invalid
+/// SimConfig) reports `ok == false` with the message instead of tearing down
+/// the whole sweep.
+struct ScenarioRun {
+  std::string name;
+  ExperimentResult result;
+  bool ok = false;
+  std::string error;
+
+  /// The result, or std::runtime_error("<name>: <error>") when the scenario
+  /// failed — for callers that treat any failure in the sweep as fatal.
+  const ExperimentResult& ResultOrThrow() const;
+};
+
+/// Deterministic per-scenario seed: splitmix64 of the base seed and the
+/// scenario's position, so grids get decorrelated-but-reproducible streams
+/// regardless of sweep size or thread count.
+std::uint64_t DeriveScenarioSeed(std::uint64_t base_seed, std::size_t index);
+
+/// Expand a policy x seed grid over a base config. Scenario (p, s) is named
+/// "<policy>/seed<seed>" and runs the base config with trace.seed and
+/// sim.seed both set to `s`.
+std::vector<ScenarioSpec> PolicySeedGrid(const ExperimentConfig& base,
+                                         const std::vector<PolicyKind>& policies,
+                                         const std::vector<std::uint64_t>& seeds);
+
+/// Thread-pooled scenario runner. Results come back in input order; a
+/// num_threads of 0 uses the hardware concurrency.
+class SweepRunner {
+ public:
+  explicit SweepRunner(int num_threads = 0) : num_threads_(num_threads) {}
+
+  std::vector<ScenarioRun> Run(const std::vector<ScenarioSpec>& scenarios) const;
+
+ private:
+  int num_threads_;
+};
 
 }  // namespace themis

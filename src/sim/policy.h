@@ -22,7 +22,8 @@ class SchedulerContext {
         estimator_(estimator),
         lease_duration_(lease_duration),
         apps_(apps),
-        rng_(rng) {}
+        rng_(rng),
+        free_per_machine_(cluster->FreeGpusPerMachine()) {}
 
   Time now() const { return now_; }
   Cluster& cluster() { return *cluster_; }
@@ -32,6 +33,12 @@ class SchedulerContext {
   /// Active apps (arrived, unfinished), ascending AppId order.
   const AppList& apps() const { return *apps_; }
   Rng& rng() { return *rng_; }
+
+  /// Free GPU count per machine — the auction's offered resource vector,
+  /// computed once per pass from the cluster indices and kept consistent as
+  /// the policy grants GPUs. Policies read this instead of recounting the
+  /// free pool per machine.
+  const std::vector<int>& free_per_machine() const { return free_per_machine_; }
 
   /// Lease `gpus` to (app, job) until now + lease_duration. The GPUs must be
   /// free; the job records them immediately.
@@ -44,6 +51,7 @@ class SchedulerContext {
   Time lease_duration_;
   AppList* apps_;
   Rng* rng_;
+  std::vector<int> free_per_machine_;
 };
 
 class ISchedulerPolicy {
@@ -51,6 +59,13 @@ class ISchedulerPolicy {
   virtual ~ISchedulerPolicy() = default;
 
   /// Allocate (some of) `free_gpus` among the context's apps.
+  ///
+  /// Precondition: `free_gpus` is the cluster's complete current free pool
+  /// (`ctx.cluster().FreeGpus()` with no mutation since the context was
+  /// built), so it agrees with ctx.free_per_machine() — ThemisPolicy uses
+  /// that vector as the auction's offered resources. Passing a filtered
+  /// subset would let the auction award GPUs the materialization step
+  /// cannot take.
   virtual void Schedule(const std::vector<GpuId>& free_gpus,
                         SchedulerContext& ctx) = 0;
 

@@ -1,0 +1,55 @@
+// JSON scenario files -> ScenarioSpec lists for the SweepRunner.
+//
+// A scenario file describes a grid of experiments declaratively, so bench
+// sweeps can be archived, edited by hand, and replayed — the same workflow
+// workload/trace_io gives individual traces (a scenario may reference one of
+// those CSV archives via "trace_csv"). Shape:
+//
+//   {
+//     "defaults":  { "policy": "themis", "sim": {"lease_minutes": 10} },
+//     "scenarios": [
+//       { "name": "themis-base" },
+//       { "name": "gandiva-base", "policy": "gandiva" },
+//       { "name": "big",
+//         "cluster": { "racks": 8, "machines_per_rack": 64,
+//                      "gpus_per_machine": 8, "gpus_per_slot": 4 },
+//         "trace":   { "seed": 7, "num_apps": 200, "contention_factor": 4 },
+//         "themis":  { "fairness_knob": 0.6 } }
+//     ]
+//   }
+//
+// "defaults" (optional) is merged under every scenario. "cluster" accepts
+// either {"preset": "sim256" | "testbed50"} or the uniform shape above.
+// A top-level "base_seed" gives every scenario a position-derived seed
+// (DeriveScenarioSeed) unless a seed is pinned in "defaults" or the
+// scenario itself — grids stay reproducible without hand-numbering seeds.
+// "trace_csv" replays an archived trace and cannot be combined with
+// "trace" knobs in the same object (the knobs would be silently ignored);
+// a scenario-level "trace_csv" does override trace settings inherited from
+// "defaults".
+// Unknown keys anywhere are an error — scenario files fail loudly, not by
+// silently ignoring a typo'd knob.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace themis {
+
+class JsonValue;
+
+/// Parse scenario JSON text. Throws std::runtime_error (with a json line
+/// number where applicable) on malformed documents or unknown fields.
+std::vector<ScenarioSpec> LoadScenarios(const std::string& json_text);
+
+/// Load and parse a scenario file.
+std::vector<ScenarioSpec> LoadScenariosFile(const std::string& path);
+
+/// Apply one scenario object (already parsed) on top of `base`; exposed for
+/// tests and embedding tools.
+ScenarioSpec ScenarioFromJson(const JsonValue& scenario,
+                              const ExperimentConfig& base);
+
+}  // namespace themis

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <stdexcept>
 
 #include "common/log.h"
 
@@ -11,11 +12,35 @@ namespace {
 constexpr double kFinishEps = 1e-6;
 }
 
+void SimConfig::Validate() const {
+  if (!(lease_minutes > 0.0))
+    throw std::invalid_argument(
+        "SimConfig: lease_minutes must be > 0 (got " +
+        std::to_string(lease_minutes) + ")");
+  if (restart_overhead_minutes < 0.0)
+    throw std::invalid_argument(
+        "SimConfig: restart_overhead_minutes must be >= 0 (got " +
+        std::to_string(restart_overhead_minutes) + ")");
+  if (!(max_time > 0.0))
+    throw std::invalid_argument("SimConfig: max_time must be > 0 (got " +
+                                std::to_string(max_time) + ")");
+  if (machine_mtbf_minutes < 0.0)
+    throw std::invalid_argument(
+        "SimConfig: machine_mtbf_minutes must be >= 0 (got " +
+        std::to_string(machine_mtbf_minutes) + ")");
+  if (machine_mtbf_minutes > 0.0 && !(machine_repair_minutes > 0.0))
+    throw std::invalid_argument(
+        "SimConfig: machine_repair_minutes must be > 0 when failure "
+        "injection is on (got " +
+        std::to_string(machine_repair_minutes) + ")");
+}
+
 void SchedulerContext::Grant(AppState& app, JobState& job,
                              const std::vector<GpuId>& gpus) {
   for (GpuId g : gpus) {
     cluster_->Allocate(g, app.id, job.id, now_ + lease_duration_);
     job.gpus.push_back(g);
+    --free_per_machine_[cluster_->topology().gpu(g).machine];
   }
 }
 
@@ -26,6 +51,7 @@ Simulator::Simulator(ClusterSpec cluster_spec, std::vector<AppSpec> specs,
       config_(config),
       estimator_(config.estimator),
       rng_(config.seed) {
+  config_.Validate();
   apps_.reserve(specs.size());
   AppId next_app = 0;
   for (AppSpec& spec : specs) {
@@ -65,10 +91,24 @@ AppState* Simulator::FindApp(AppId id) {
   return (id < apps_.size()) ? apps_[id].get() : nullptr;
 }
 
+void Simulator::ActivateApp(AppState* app) {
+  const auto it = std::lower_bound(
+      active_apps_.begin(), active_apps_.end(), app,
+      [](const AppState* a, const AppState* b) { return a->id < b->id; });
+  if (it == active_apps_.end() || (*it)->id != app->id)
+    active_apps_.insert(it, app);
+}
+
+void Simulator::DeactivateApp(AppId id) {
+  const auto it = std::lower_bound(
+      active_apps_.begin(), active_apps_.end(), id,
+      [](const AppState* a, AppId b) { return a->id < b; });
+  if (it != active_apps_.end() && (*it)->id == id) active_apps_.erase(it);
+}
+
 void Simulator::AdvanceTo(Time t) {
   if (t <= last_advance_) return;
-  for (auto& app : apps_) {
-    if (!app->arrived || app->finished) continue;
+  for (AppState* app : active_apps_) {
     for (JobState& job : app->jobs) {
       if (job.gpus.empty()) continue;
       // Held GPUs consume GPU-time for the whole interval (they are leased),
@@ -112,6 +152,7 @@ void Simulator::FinishApp(Time t, AppState& app) {
   app.finished = true;
   app.finish_time = t;
   ++finished_apps_;
+  DeactivateApp(app.id);
   for (JobState& job : app.jobs)
     if (job.alive && !job.finished) KillJob(app, job);
 
@@ -133,8 +174,7 @@ void Simulator::PushLeaseTick(Time t) {
 }
 
 void Simulator::RescheduleFinishEvents(Time t) {
-  for (auto& app : apps_) {
-    if (!app->arrived || app->finished) continue;
+  for (AppState* app : active_apps_) {
     for (JobState& job : app->jobs) {
       if (!job.Running()) continue;
       const double rate = job.Rate(cluster_.topology());
@@ -151,16 +191,17 @@ void Simulator::RescheduleFinishEvents(Time t) {
 void Simulator::SchedulingPass(Time t) {
   ++passes_;
 
+  // Lease ticks at or before t have fired; drop them so the dedup set stays
+  // proportional to the pending ticks, not the run length.
+  pushed_ticks_.erase(pushed_ticks_.begin(), pushed_ticks_.upper_bound(t));
+
   // Snapshot gangs to detect real changes (lease renewals that win the same
   // GPUs back incur no restart overhead).
   std::map<std::pair<AppId, JobId>, std::vector<GpuId>> before;
-  for (auto& app : apps_) {
-    if (!app->arrived || app->finished) continue;
-    for (JobState& job : app->jobs)
-      before[{app->id, job.id}] = job.gpus;
-  }
+  for (AppState* app : active_apps_)
+    for (JobState& job : app->jobs) before[{app->id, job.id}] = job.gpus;
 
-  // 1. Reclaim expired leases.
+  // 1. Reclaim expired leases (O(expired log n) via the expiry index).
   for (GpuId g : cluster_.ExpiredGpus(t)) {
     const Lease lease = *cluster_.lease(g);
     cluster_.Release(g);
@@ -171,10 +212,10 @@ void Simulator::SchedulingPass(Time t) {
     }
   }
 
-  // 2. Per-app tuner step: kills and parallelism caps.
-  AppList active;
-  for (auto& app : apps_) {
-    if (!app->arrived || app->finished) continue;
+  // 2. Per-app tuner step: kills and parallelism caps. Caps only change
+  // here, so each app's capped demand is summed in the same walk.
+  long long demand = 0;
+  for (AppState* app : active_apps_) {
     const TunerDecision decision = app->tuner->Step(app->Views(), t);
     for (int idx : decision.kill) {
       JobState& job = app->jobs[idx];
@@ -184,28 +225,25 @@ void Simulator::SchedulingPass(Time t) {
       app->jobs[j].parallelism_cap = decision.parallelism_cap[j];
     // A job whose cap shrank below its current gang keeps the lease until
     // expiry (allocations are binding, Sec. 4's strawman discussion).
-    active.push_back(app.get());
+    demand += app->CapDemand();
   }
 
   // Track contention: total live demand (held + unmet) over capacity.
-  double demand = 0.0;
-  for (AppState* app : active)
-    for (const JobState& job : app->jobs)
-      if (job.alive && !job.finished)
-        demand += std::min(job.parallelism_cap, job.spec.MaxParallelism());
-  peak_contention_ = std::max(
-      peak_contention_, demand / static_cast<double>(cluster_.num_gpus()));
+  peak_contention_ = std::max(peak_contention_,
+                              static_cast<double>(demand) /
+                                  static_cast<double>(cluster_.num_gpus()));
 
-  // 3. Run the inter-app policy on the free pool.
+  // 3. Run the inter-app policy on the free pool, computed once from the
+  // cluster indices; the context carries the matching per-machine counts.
   const std::vector<GpuId> free = cluster_.FreeGpus();
-  if (!free.empty() && !active.empty()) {
+  if (!free.empty() && !active_apps_.empty()) {
     SchedulerContext ctx(t, &cluster_, &estimator_, config_.lease_minutes,
-                         &active, &rng_);
+                         &active_apps_, &rng_);
     policy_->Schedule(free, ctx);
   }
 
   // 4. Apply restart overheads for changed gangs; sample placement scores.
-  for (AppState* app : active) {
+  for (AppState* app : active_apps_) {
     int held = 0;
     for (JobState& job : app->jobs) {
       held += static_cast<int>(job.gpus.size());
@@ -214,10 +252,7 @@ void Simulator::SchedulingPass(Time t) {
       if (!changed) continue;
       ++job.alloc_version;
       if (!job.gpus.empty()) {
-        if (job.done > 0.0 || job.attained_service > 0.0)
-          job.resume_at = t + config_.restart_overhead_minutes;
-        else
-          job.resume_at = t + config_.restart_overhead_minutes;
+        job.resume_at = t + config_.restart_overhead_minutes;
         app->placement_scores.Add(
             PlacementScore(job.gpus, cluster_.topology()));
       }
@@ -225,12 +260,9 @@ void Simulator::SchedulingPass(Time t) {
     metrics_.RecordAllocation(t, app->id, held);
   }
 
-  // 5. Schedule lease ticks + projected finish events.
-  Time next_expiry = kInfiniteTime;
-  for (GpuId g = 0; g < static_cast<GpuId>(cluster_.num_gpus()); ++g) {
-    const auto& lease = cluster_.lease(g);
-    if (lease && lease->expiry > t) next_expiry = std::min(next_expiry, lease->expiry);
-  }
+  // 5. Schedule lease ticks + projected finish events. The expiry index
+  // answers the next-expiry query directly instead of a full GPU scan.
+  const Time next_expiry = cluster_.NextExpiryAfter(t);
   if (std::isfinite(next_expiry)) PushLeaseTick(next_expiry);
   RescheduleFinishEvents(t);
 }
@@ -249,6 +281,7 @@ SimResult Simulator::Run() {
           AppState* app = FindApp(e.app);
           app->arrived = true;
           app->tuner->Init(app->spec);
+          ActivateApp(app);
           need_schedule = true;
           break;
         }

@@ -43,6 +43,12 @@ struct SimConfig {
   /// and the machine rejoins after `machine_repair_minutes`.
   Time machine_mtbf_minutes = 0.0;
   Time machine_repair_minutes = 60.0;
+
+  /// Reject configurations that would silently produce nonsense runs
+  /// (non-positive lease, negative overhead, ...). Throws
+  /// std::invalid_argument naming the offending knob; called by the
+  /// Simulator constructor before any state is built.
+  void Validate() const;
 };
 
 struct SimResult {
@@ -80,9 +86,16 @@ class Simulator {
   void RescheduleFinishEvents(Time t);
   void PushLeaseTick(Time t);
   AppState* FindApp(AppId id);
+  /// Maintain the active-app set (arrived && !finished, ascending AppId).
+  void ActivateApp(AppState* app);
+  void DeactivateApp(AppId id);
 
   Cluster cluster_;
   std::vector<std::unique_ptr<AppState>> apps_;
+  /// Apps that arrived and have not finished, sorted by AppId. Every
+  /// per-pass walk (progress advance, tuner step, finish-event rescheduling)
+  /// iterates this set instead of rescanning apps_.
+  AppList active_apps_;
   std::unique_ptr<ISchedulerPolicy> policy_;
   SimConfig config_;
   WorkEstimator estimator_;

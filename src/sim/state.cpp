@@ -41,6 +41,14 @@ int AppState::GpusHeld() const {
   return total;
 }
 
+int AppState::CapDemand() const {
+  int total = 0;
+  for (const JobState& j : jobs)
+    if (j.alive && !j.finished)
+      total += std::min(j.parallelism_cap, j.spec.MaxParallelism());
+  return total;
+}
+
 int AppState::UnmetDemand() const {
   int total = 0;
   for (const JobState& j : jobs) total += j.UnmetGangs() * j.spec.gpus_per_task;

@@ -74,6 +74,9 @@ struct AppState {
   int GpusHeld() const;
   /// Whole-gang GPU demand still unmet across active jobs.
   int UnmetDemand() const;
+  /// Capped GPU demand: sum over alive jobs of min(parallelism_cap,
+  /// MaxParallelism) — this app's contribution to the contention yardstick.
+  int CapDemand() const;
 
   /// JobView vector for the tuner.
   std::vector<JobView> Views() const;

@@ -1,0 +1,289 @@
+// Tests for the scenario subsystem: JSON parsing (common/json.h), scenario
+// loading (sim/scenario.h), and the thread-pooled SweepRunner — including
+// the load-bearing property that a parallel sweep is bit-identical to
+// running each experiment serially.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/json.h"
+#include "sim/scenario.h"
+#include "workload/trace_gen.h"
+#include "workload/trace_io.h"
+
+namespace themis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON reader
+// ---------------------------------------------------------------------------
+
+TEST(Json, ParsesScalarsArraysObjects) {
+  const JsonValue v = JsonValue::Parse(
+      R"({"a": 1.5, "b": "text", "c": [1, 2, 3], "d": true, "e": null,
+          "nested": {"x": -2e3}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.Find("a")->AsNumber(), 1.5);
+  EXPECT_EQ(v.Find("b")->AsString(), "text");
+  ASSERT_EQ(v.Find("c")->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.Find("c")->items()[1].AsNumber(), 2.0);
+  EXPECT_TRUE(v.Find("d")->AsBool());
+  EXPECT_TRUE(v.Find("e")->is_null());
+  EXPECT_DOUBLE_EQ(v.Find("nested")->Find("x")->AsNumber(), -2000.0);
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(Json, ParsesStringEscapes) {
+  const JsonValue v = JsonValue::Parse(R"({"s": "a\"b\\c\n\tA"})");
+  EXPECT_EQ(v.Find("s")->AsString(), "a\"b\\c\n\tA");
+}
+
+TEST(Json, RejectsMalformedInputWithLineNumbers) {
+  EXPECT_THROW(JsonValue::Parse("{"), std::runtime_error);
+  EXPECT_THROW(JsonValue::Parse("{\"a\": }"), std::runtime_error);
+  EXPECT_THROW(JsonValue::Parse("[1, 2,]"), std::runtime_error);
+  EXPECT_THROW(JsonValue::Parse("{} trailing"), std::runtime_error);
+  try {
+    JsonValue::Parse("{\n\n  \"a\": nope\n}");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Json, EnforcesStrictNumberGrammar) {
+  EXPECT_THROW(JsonValue::Parse(R"({"n": +5})"), std::runtime_error);
+  EXPECT_THROW(JsonValue::Parse(R"({"n": .5})"), std::runtime_error);
+  EXPECT_THROW(JsonValue::Parse(R"({"n": 1.})"), std::runtime_error);
+  EXPECT_THROW(JsonValue::Parse(R"({"n": 1e})"), std::runtime_error);
+  EXPECT_THROW(JsonValue::Parse(R"({"n": -})"), std::runtime_error);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-0.5e+2").AsNumber(), -50.0);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("0.25").AsNumber(), 0.25);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const JsonValue v = JsonValue::Parse(R"({"n": 3})");
+  EXPECT_THROW(v.Find("n")->AsString(), std::runtime_error);
+  EXPECT_THROW(v.AsNumber(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario loading
+// ---------------------------------------------------------------------------
+
+TEST(Scenario, LoadsSpecsWithDefaultsMerged) {
+  const auto specs = LoadScenarios(R"({
+    "defaults": {
+      "policy": "themis",
+      "cluster": {"racks": 2, "machines_per_rack": 4, "gpus_per_machine": 4,
+                  "gpus_per_slot": 2},
+      "trace": {"seed": 9, "num_apps": 12},
+      "sim": {"seed": 9, "lease_minutes": 10},
+      "themis": {"fairness_knob": 0.6}
+    },
+    "scenarios": [
+      {"name": "base"},
+      {"name": "gandiva", "policy": "gandiva"},
+      {"name": "hot", "trace": {"contention_factor": 4}}
+    ]
+  })");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].name, "base");
+  EXPECT_EQ(specs[0].config.policy, PolicyKind::kThemis);
+  EXPECT_EQ(specs[0].config.cluster.TotalGpus(), 32);
+  EXPECT_EQ(specs[0].config.trace.num_apps, 12);
+  EXPECT_DOUBLE_EQ(specs[0].config.sim.lease_minutes, 10.0);
+  EXPECT_DOUBLE_EQ(specs[0].config.themis.fairness_knob, 0.6);
+  EXPECT_EQ(specs[1].config.policy, PolicyKind::kGandiva);
+  // Scenario overrides layer on top of defaults, not on each other.
+  EXPECT_DOUBLE_EQ(specs[2].config.trace.contention_factor, 4.0);
+  EXPECT_EQ(specs[2].config.trace.num_apps, 12);
+  EXPECT_EQ(specs[2].config.policy, PolicyKind::kThemis);
+}
+
+TEST(Scenario, BaseSeedDerivesPerScenarioSeeds) {
+  const auto specs = LoadScenarios(R"({
+    "base_seed": 42,
+    "scenarios": [
+      {"name": "a"},
+      {"name": "b"},
+      {"name": "pinned", "trace": {"seed": 7}, "sim": {"seed": 7}}
+    ]
+  })");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].config.trace.seed, DeriveScenarioSeed(42, 0));
+  EXPECT_EQ(specs[0].config.sim.seed, DeriveScenarioSeed(42, 0));
+  EXPECT_EQ(specs[1].config.trace.seed, DeriveScenarioSeed(42, 1));
+  EXPECT_NE(specs[0].config.trace.seed, specs[1].config.trace.seed);
+  // Explicit per-scenario seeds win over the derived default.
+  EXPECT_EQ(specs[2].config.trace.seed, 7u);
+  EXPECT_EQ(specs[2].config.sim.seed, 7u);
+  // Seeds pinned in defaults also win.
+  const auto pinned = LoadScenarios(R"({
+    "base_seed": 42,
+    "defaults": {"trace": {"seed": 5}},
+    "scenarios": [{"name": "a"}, {"name": "b"}]
+  })");
+  EXPECT_EQ(pinned[0].config.trace.seed, 5u);
+  EXPECT_EQ(pinned[1].config.trace.seed, 5u);
+  EXPECT_EQ(pinned[0].config.sim.seed, DeriveScenarioSeed(42, 0));
+  // A trace/sim object that sets other knobs but no seed must not disturb
+  // the derived 64-bit seed (a double round-trip would truncate it).
+  const auto partial = LoadScenarios(R"({
+    "base_seed": 42,
+    "scenarios": [{"name": "a", "sim": {"lease_minutes": 5},
+                   "trace": {"num_apps": 3}}]
+  })");
+  EXPECT_EQ(partial[0].config.sim.seed, DeriveScenarioSeed(42, 0));
+  EXPECT_EQ(partial[0].config.trace.seed, DeriveScenarioSeed(42, 0));
+}
+
+TEST(Scenario, PresetClustersResolve) {
+  const auto specs = LoadScenarios(R"({
+    "scenarios": [
+      {"name": "a", "cluster": {"preset": "sim256"}},
+      {"name": "b", "cluster": {"preset": "testbed50"}}
+    ]
+  })");
+  EXPECT_EQ(specs[0].config.cluster.TotalGpus(), 256);
+  EXPECT_EQ(specs[1].config.cluster.TotalGpus(), 50);
+}
+
+TEST(Scenario, UnknownKeysFailLoudly) {
+  EXPECT_THROW(LoadScenarios(R"({"scenarios": [{"name": "a", "polcy": "drf"}]})"),
+               std::runtime_error);
+  EXPECT_THROW(
+      LoadScenarios(R"({"scenarios": [{"name": "a", "sim": {"lease": 5}}]})"),
+      std::runtime_error);
+  EXPECT_THROW(LoadScenarios(R"({"scenarios": []})"), std::runtime_error);
+  EXPECT_THROW(LoadScenarios(R"({"scenarios": [{"name": "a",
+      "policy": "nope"}]})"), std::runtime_error);
+}
+
+TEST(Scenario, RejectsInvalidSeedsAndPresetDimensionMix) {
+  // Negative / fractional seeds would be UB or lossy as uint64 casts.
+  EXPECT_THROW(LoadScenarios(R"({"scenarios": [
+      {"name": "a", "trace": {"seed": -1}}]})"), std::runtime_error);
+  EXPECT_THROW(LoadScenarios(R"({"scenarios": [
+      {"name": "a", "sim": {"seed": 1.5}}]})"), std::runtime_error);
+  EXPECT_THROW(LoadScenarios(R"({"base_seed": -3, "scenarios": [
+      {"name": "a"}]})"), std::runtime_error);
+  // "preset" with explicit dimensions would silently drop the dimensions.
+  EXPECT_THROW(LoadScenarios(R"({"scenarios": [
+      {"name": "a", "cluster": {"preset": "sim256", "racks": 8}}]})"),
+               std::runtime_error);
+  // Same for a replayed CSV combined with trace-generation knobs.
+  EXPECT_THROW(LoadScenarios(R"({"scenarios": [
+      {"name": "a", "trace_csv": "t.csv", "trace": {"num_apps": 5}}]})"),
+               std::runtime_error);
+  // Duplicate keys would silently shadow the later value.
+  EXPECT_THROW(LoadScenarios(R"({"scenarios": [
+      {"name": "a", "sim": {"lease_minutes": 5, "lease_minutes": 50}}]})"),
+               std::runtime_error);
+  // Out-of-int-range knobs would be UB to cast.
+  EXPECT_THROW(LoadScenarios(R"({"scenarios": [
+      {"name": "a", "trace": {"num_apps": 3e9}}]})"), std::runtime_error);
+}
+
+TEST(Scenario, InvalidSimConfigRejectedAtLoadTime) {
+  EXPECT_THROW(LoadScenarios(R"({"scenarios": [
+      {"name": "a", "sim": {"lease_minutes": 0}}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(LoadScenarios(R"({"scenarios": [
+      {"name": "a", "sim": {"restart_overhead_minutes": -1}}]})"),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// SweepRunner
+// ---------------------------------------------------------------------------
+
+ExperimentConfig SmallConfig(PolicyKind policy, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.cluster = ClusterSpec::Uniform(2, 4, 4, 2);
+  cfg.policy = policy;
+  cfg.trace.seed = seed;
+  cfg.trace.num_apps = 8;
+  cfg.trace.jobs_per_app_median = 4.0;
+  cfg.trace.jobs_per_app_max = 8;
+  cfg.sim.seed = seed;
+  cfg.sim.lease_minutes = 10.0;
+  return cfg;
+}
+
+TEST(SweepRunner, ParallelMatchesSerialBitExactly) {
+  std::vector<ScenarioSpec> specs;
+  for (PolicyKind policy : {PolicyKind::kThemis, PolicyKind::kGandiva,
+                            PolicyKind::kTiresias, PolicyKind::kSlaq,
+                            PolicyKind::kDrf})
+    for (std::uint64_t seed : {11ULL, 12ULL})
+      specs.push_back({std::string(ToString(policy)), SmallConfig(policy, seed),
+                       ""});
+
+  const auto parallel = SweepRunner(/*num_threads=*/4).Run(specs);
+  const auto serial = SweepRunner(/*num_threads=*/1).Run(specs);
+  ASSERT_EQ(parallel.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_TRUE(parallel[i].ok) << parallel[i].error;
+    ASSERT_TRUE(serial[i].ok) << serial[i].error;
+    EXPECT_EQ(parallel[i].result.rhos, serial[i].result.rhos) << specs[i].name;
+    EXPECT_EQ(parallel[i].result.completion_times,
+              serial[i].result.completion_times);
+    EXPECT_DOUBLE_EQ(parallel[i].result.gpu_time, serial[i].result.gpu_time);
+    // And against a direct serial RunExperiment call.
+    const ExperimentResult direct = RunExperiment(specs[i].config);
+    EXPECT_EQ(parallel[i].result.rhos, direct.rhos);
+  }
+}
+
+TEST(SweepRunner, FailedScenarioReportsErrorWithoutKillingSweep) {
+  std::vector<ScenarioSpec> specs;
+  specs.push_back({"ok", SmallConfig(PolicyKind::kThemis, 5), ""});
+  ScenarioSpec bad{"bad", SmallConfig(PolicyKind::kThemis, 5), ""};
+  bad.trace_csv = "/nonexistent/trace.csv";
+  specs.push_back(bad);
+  const auto runs = SweepRunner(2).Run(specs);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_TRUE(runs[0].ok);
+  EXPECT_FALSE(runs[1].ok);
+  EXPECT_FALSE(runs[1].error.empty());
+}
+
+TEST(SweepRunner, ReplaysArchivedCsvTrace) {
+  // Archive a generated trace, then sweep a scenario replaying it; results
+  // must match generating from the same config directly.
+  ExperimentConfig cfg = SmallConfig(PolicyKind::kThemis, 21);
+  TraceGenerator gen(cfg.trace);
+  const std::string path = ::testing::TempDir() + "/scenario_trace.csv";
+  WriteTraceCsvFile(path, gen.Generate());
+
+  ScenarioSpec spec{"replay", cfg, path};
+  const auto runs = SweepRunner(1).Run({spec});
+  ASSERT_TRUE(runs[0].ok) << runs[0].error;
+  const ExperimentResult direct = RunExperiment(cfg);
+  EXPECT_EQ(runs[0].result.rhos, direct.rhos);
+  std::remove(path.c_str());
+}
+
+TEST(SweepRunner, DeriveScenarioSeedIsStableAndDecorrelated) {
+  EXPECT_EQ(DeriveScenarioSeed(42, 0), DeriveScenarioSeed(42, 0));
+  EXPECT_NE(DeriveScenarioSeed(42, 0), DeriveScenarioSeed(42, 1));
+  EXPECT_NE(DeriveScenarioSeed(42, 0), DeriveScenarioSeed(43, 0));
+}
+
+TEST(SweepRunner, PolicySeedGridNamesAndSeedsScenarios) {
+  const auto specs = PolicySeedGrid(SmallConfig(PolicyKind::kThemis, 0),
+                                    {PolicyKind::kThemis, PolicyKind::kDrf},
+                                    {7, 8});
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].name, "Themis/seed7");
+  EXPECT_EQ(specs[3].name, "DRF/seed8");
+  EXPECT_EQ(specs[3].config.policy, PolicyKind::kDrf);
+  EXPECT_EQ(specs[3].config.trace.seed, 8u);
+  EXPECT_EQ(specs[3].config.sim.seed, 8u);
+}
+
+}  // namespace
+}  // namespace themis

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "sim/events.h"
 #include "sim/experiment.h"
@@ -290,6 +291,49 @@ TEST(Simulator, EffectiveJobRateZeroBeyondConstraint) {
   EXPECT_DOUBLE_EQ(EffectiveJobRate(job, {0, 8}, topo), 0.0);   // cross rack
   job.max_span = LocalityLevel::kCrossRack;
   EXPECT_GT(EffectiveJobRate(job, {0, 8}, topo), 0.0);
+}
+
+TEST(SimConfigValidation, RejectsNonPositiveLease) {
+  SimConfig cfg;
+  cfg.lease_minutes = 0.0;
+  EXPECT_THROW(cfg.Validate(), std::invalid_argument);
+  cfg.lease_minutes = -5.0;
+  EXPECT_THROW(cfg.Validate(), std::invalid_argument);
+}
+
+TEST(SimConfigValidation, RejectsNegativeRestartOverhead) {
+  SimConfig cfg;
+  cfg.restart_overhead_minutes = -0.1;
+  EXPECT_THROW(cfg.Validate(), std::invalid_argument);
+  cfg.restart_overhead_minutes = 0.0;  // zero overhead is legitimate
+  EXPECT_NO_THROW(cfg.Validate());
+}
+
+TEST(SimConfigValidation, RejectsBadFailureKnobs) {
+  SimConfig cfg;
+  cfg.machine_mtbf_minutes = -1.0;
+  EXPECT_THROW(cfg.Validate(), std::invalid_argument);
+  cfg.machine_mtbf_minutes = 1000.0;
+  cfg.machine_repair_minutes = 0.0;
+  EXPECT_THROW(cfg.Validate(), std::invalid_argument);
+  // Repair time only matters when injection is on.
+  cfg.machine_mtbf_minutes = 0.0;
+  EXPECT_NO_THROW(cfg.Validate());
+}
+
+TEST(SimConfigValidation, RejectsNonPositiveMaxTime) {
+  SimConfig cfg;
+  cfg.max_time = 0.0;
+  EXPECT_THROW(cfg.Validate(), std::invalid_argument);
+}
+
+TEST(SimConfigValidation, SimulatorConstructorValidates) {
+  SimConfig cfg;
+  cfg.lease_minutes = -1.0;
+  EXPECT_THROW(Simulator(ClusterSpec::Uniform(1, 1, 4, 4),
+                         {SingleJobApp(0.0, 40.0, 1, 4)},
+                         std::make_unique<ThemisPolicy>(), cfg),
+               std::invalid_argument);
 }
 
 TEST(Simulator, DrfPolicyCompletesWorkload) {
