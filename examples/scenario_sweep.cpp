@@ -1,13 +1,14 @@
 // Example: declarative scenario sweeps.
 //
-//   scenario_sweep [scenarios.json] [--threads N]
+//   scenario_sweep [scenarios.json] [--threads N] [--csv FILE]
 //
 // Loads a JSON scenario file (examples/scenarios.json documents the shape:
 // a "defaults" object merged under every entry of a "scenarios" array, each
 // naming a topology, trace, policy, and knob settings), runs every scenario
 // in parallel on the SweepRunner's thread pool, and prints one metrics row
 // per scenario. With no file argument it runs a small built-in grid so the
-// example works from any directory.
+// example works from any directory. --csv FILE additionally writes the
+// per-scenario metric rows (WriteSweepCsv) so grids feed plotting directly.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -39,20 +40,23 @@ constexpr char kBuiltinScenarios[] = R"({
 int main(int argc, char** argv) {
   using namespace themis;
 
-  std::string path;
+  std::string path, csv;
   int threads = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (arg == "--csv" && i + 1 < argc) {
+      csv = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::fprintf(stderr, "usage: %s [scenarios.json] [--threads N]\n",
+      std::fprintf(stderr,
+                   "usage: %s [scenarios.json] [--threads N] [--csv FILE]\n",
                    argv[0]);
       return 2;
     } else if (arg.rfind("-", 0) == 0) {
       // Unknown (or valueless) flags must not be mistaken for a file path.
       std::fprintf(stderr, "unknown flag: %s\nusage: %s [scenarios.json]"
-                   " [--threads N]\n", arg.c_str(), argv[0]);
+                   " [--threads N] [--csv FILE]\n", arg.c_str(), argv[0]);
       return 2;
     } else {
       path = arg;
@@ -74,7 +78,8 @@ int main(int argc, char** argv) {
               "max_rho", "jain", "avg_ACT", "gpu_time", "unfin");
 
   int failures = 0;
-  for (const ScenarioRun& run : SweepRunner(threads).Run(scenarios)) {
+  const std::vector<ScenarioRun> runs = SweepRunner(threads).Run(scenarios);
+  for (const ScenarioRun& run : runs) {
     if (!run.ok) {
       std::printf("%-22s FAILED: %s\n", run.name.c_str(), run.error.c_str());
       ++failures;
@@ -85,6 +90,16 @@ int main(int argc, char** argv) {
                 run.name.c_str(), r.policy_name.c_str(), r.max_fairness,
                 r.jains_index, r.avg_completion_time, r.gpu_time,
                 r.unfinished_apps);
+  }
+  if (!csv.empty()) {
+    try {
+      WriteSweepCsv(csv, runs);
+      std::printf("\nwrote %zu scenario rows to %s\n", runs.size(),
+                  csv.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
   }
   return failures == 0 ? 0 : 1;
 }

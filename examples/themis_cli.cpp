@@ -5,19 +5,28 @@
 //              [--apps N] [--seed S] [--contention C] [--lease MIN]
 //              [--knob F] [--theta T] [--mtbf MIN] [--sensitive FRAC]
 //              [--trace-out FILE] [--trace-in FILE] [--cdf]
-//              [--sweep SCENARIOS.json] [--threads N]
+//              [--shards N] [--threads N]
+//              [--sweep SCENARIOS.json] [--csv FILE]
 //
 // Generates (or loads) a trace, runs one simulation, prints the Sec. 8.1
 // metric summary, and optionally archives the trace as CSV for later
 // replay (`--trace-out` then `--trace-in` reproduces results exactly).
+// With --shards N, the cluster's machines are partitioned across N federated
+// ARBITER shards (core/federation.h): apps are routed by the least-loaded
+// placement hint, the shards simulate in parallel (--threads), the merged
+// summary is printed alongside per-shard rows, and the cross-shard
+// grant-stream invariants are checked. --shards 1 reproduces the unsharded
+// run exactly.
 // With --sweep, runs every scenario in the JSON file on the thread-pooled
-// SweepRunner instead (see examples/scenarios.json for the format).
+// SweepRunner instead (see examples/scenarios.json for the format);
+// --csv FILE additionally writes the per-scenario metric rows for plotting.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "common/stats.h"
+#include "core/federation.h"
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "workload/trace_io.h"
@@ -34,7 +43,8 @@ using namespace themis;
                "          [--knob F] [--theta T] [--mtbf MIN]\n"
                "          [--sensitive FRAC] [--trace-out FILE]\n"
                "          [--trace-in FILE] [--cdf]\n"
-               "          [--sweep SCENARIOS.json] [--threads N]\n",
+               "          [--shards N] [--threads N]\n"
+               "          [--sweep SCENARIOS.json] [--csv FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -48,7 +58,7 @@ PolicyKind ParsePolicy(const std::string& name) {
   }
 }
 
-int RunSweep(const std::string& path, int threads) {
+int RunSweep(const std::string& path, int threads, const std::string& csv) {
   std::vector<ScenarioSpec> scenarios;
   try {
     scenarios = LoadScenariosFile(path);
@@ -59,7 +69,8 @@ int RunSweep(const std::string& path, int threads) {
   std::printf("%-22s %-10s %10s %8s %12s %8s\n", "scenario", "policy",
               "max_rho", "jain", "avg_ACT", "unfin");
   int failures = 0;
-  for (const ScenarioRun& run : SweepRunner(threads).Run(scenarios)) {
+  const std::vector<ScenarioRun> runs = SweepRunner(threads).Run(scenarios);
+  for (const ScenarioRun& run : runs) {
     if (!run.ok) {
       std::printf("%-22s FAILED: %s\n", run.name.c_str(), run.error.c_str());
       ++failures;
@@ -70,7 +81,53 @@ int RunSweep(const std::string& path, int threads) {
                 run.result.jains_index, run.result.avg_completion_time,
                 run.result.unfinished_apps);
   }
+  if (!csv.empty()) {
+    try {
+      WriteSweepCsv(csv, runs);
+      std::printf("wrote %zu scenario rows to %s\n", runs.size(), csv.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
   return failures == 0 ? 0 : 1;
+}
+
+int RunSharded(const ExperimentConfig& config, std::vector<AppSpec> apps,
+               int shards, int threads, bool print_cdf) {
+  FederationResult fed;
+  try {
+    ShardedArbiter arbiter(config.cluster, shards);
+    fed = arbiter.Run(config, apps, threads);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  const ExperimentResult& m = fed.merged;
+  std::printf("federation       : %d shard(s), policy %s\n", fed.num_shards,
+              m.policy_name.c_str());
+  std::printf("%-8s %8s %8s %10s %8s %12s %8s\n", "shard", "apps", "rounds",
+              "max_rho", "jain", "avg_ACT", "unfin");
+  for (int s = 0; s < fed.num_shards; ++s) {
+    const ExperimentResult& r = fed.per_shard[s];
+    std::printf("%-8d %8d %8d %10.2f %8.3f %12.1f %8d\n", s,
+                fed.apps_per_shard[s], r.scheduling_passes, r.max_fairness,
+                r.jains_index, r.avg_completion_time, r.unfinished_apps);
+  }
+  std::printf("%-8s %8zu %8lld %10.2f %8.3f %12.1f %8d\n", "merged",
+              apps.size(), fed.total_rounds, m.max_fairness, m.jains_index,
+              m.avg_completion_time, m.unfinished_apps);
+  std::printf("granted GPUs     : %lld (double-granted across shards: %d,"
+              " out of range: %d)\n",
+              fed.total_granted_gpus, fed.cross_shard_double_grants,
+              fed.out_of_range_grants);
+  if (print_cdf)
+    std::printf("\nrho CDF:\n%s", FormatCdf(Cdf(m.rhos), 15).c_str());
+  const bool ok = m.unfinished_apps == 0 &&
+                  fed.cross_shard_double_grants == 0 &&
+                  fed.out_of_range_grants == 0;
+  return ok ? 0 : 1;
 }
 
 ClusterSpec ParseCluster(const std::string& name) {
@@ -92,8 +149,9 @@ int main(int argc, char** argv) {
   ExperimentConfig config;
   config.cluster = ClusterSpec::Simulation256();
   config.trace.num_apps = 60;
-  std::string trace_in, trace_out, sweep_file;
+  std::string trace_in, trace_out, sweep_file, csv_file;
   int sweep_threads = 0;
+  int shards = 0;
   bool print_cdf = false;
   // Sweep mode takes every setting from the scenario file; reject
   // single-run flags alongside --sweep instead of silently dropping them.
@@ -105,8 +163,8 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) Usage(argv[0]);
       return argv[++i];
     };
-    if (arg != "--sweep" && arg != "--threads" && arg != "--help" &&
-        arg != "-h")
+    if (arg != "--sweep" && arg != "--threads" && arg != "--csv" &&
+        arg != "--help" && arg != "-h")
       single_run_flag = argv[i];
     if (arg == "--policy") config.policy = ParsePolicy(next());
     else if (arg == "--cluster") config.cluster = ParseCluster(next());
@@ -131,6 +189,8 @@ int main(int argc, char** argv) {
     else if (arg == "--trace-out") trace_out = next();
     else if (arg == "--cdf") print_cdf = true;
     else if (arg == "--sweep") sweep_file = next();
+    else if (arg == "--csv") csv_file = next();
+    else if (arg == "--shards") shards = std::atoi(next().c_str());
     else if (arg == "--threads") sweep_threads = std::atoi(next().c_str());
     else if (arg == "--help" || arg == "-h") Usage(argv[0]);
     else {
@@ -147,10 +207,15 @@ int main(int argc, char** argv) {
                    single_run_flag);
       return 2;
     }
-    return RunSweep(sweep_file, sweep_threads);
+    return RunSweep(sweep_file, sweep_threads, csv_file);
   }
-  if (sweep_threads != 0) {
-    std::fprintf(stderr, "--threads only applies to --sweep runs\n");
+  if (!csv_file.empty()) {
+    std::fprintf(stderr, "--csv only applies to --sweep runs\n");
+    return 2;
+  }
+  if (sweep_threads != 0 && shards == 0) {
+    std::fprintf(stderr,
+                 "--threads only applies to --sweep or --shards runs\n");
     return 2;
   }
 
@@ -166,6 +231,10 @@ int main(int argc, char** argv) {
     WriteTraceCsvFile(trace_out, apps);
     std::printf("wrote %zu apps to %s\n", apps.size(), trace_out.c_str());
   }
+
+  if (shards != 0)
+    return RunSharded(config, std::move(apps), shards, sweep_threads,
+                      print_cdf);
 
   const ExperimentResult r = RunExperimentWithApps(config, apps);
 

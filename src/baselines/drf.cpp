@@ -4,21 +4,20 @@
 
 namespace themis {
 
-void DrfPolicy::Schedule(const std::vector<GpuId>& free_gpus,
-                         SchedulerContext& ctx) {
-  std::vector<GpuId> free = free_gpus;  // ascending id order
-
+GrantSet DrfPolicy::RunRound(const ResourceOffer& /*offer*/,
+                             SchedulerContext& ctx) {
   // Max-min on instantaneous GPU share: one gang at a time to the app with
   // the smallest current holding (dominant share == GPU share in a
   // single-resource cluster).
-  while (!free.empty()) {
+  const FreePool& pool = ctx.free_pool();
+  while (!pool.empty()) {
     AppState* poorest = nullptr;
     int poorest_job = -1;
     for (AppState* app : ctx.apps()) {
       for (int j : app->ActiveJobs()) {
         JobState& job = app->jobs[j];
         if (job.UnmetGangs() <= 0) continue;
-        if (job.spec.gpus_per_task > static_cast<int>(free.size())) continue;
+        if (job.spec.gpus_per_task > pool.size()) continue;
         if (poorest == nullptr || app->GpusHeld() < poorest->GpusHeld() ||
             (app->GpusHeld() == poorest->GpusHeld() && app->id < poorest->id)) {
           poorest = app;
@@ -30,12 +29,10 @@ void DrfPolicy::Schedule(const std::vector<GpuId>& free_gpus,
     if (poorest == nullptr) break;
 
     JobState& job = poorest->jobs[poorest_job];
-    const int gang = job.spec.gpus_per_task;
-    // Placement-unaware: first free GPUs by id.
-    std::vector<GpuId> pick(free.begin(), free.begin() + gang);
-    free.erase(free.begin(), free.begin() + gang);
-    ctx.Grant(*poorest, job, pick);
+    // Placement-unaware: first pooled GPUs by id.
+    ctx.Grant(*poorest, job, pool.FirstN(job.spec.gpus_per_task));
   }
+  return ctx.TakeGrants();
 }
 
 }  // namespace themis

@@ -6,13 +6,14 @@
 
 namespace themis {
 
-void GandivaPolicy::Schedule(const std::vector<GpuId>& free_gpus,
-                             SchedulerContext& ctx) {
-  std::vector<GpuId> free = free_gpus;
-
+GrantSet GandivaPolicy::RunRound(const ResourceOffer& /*offer*/,
+                                 SchedulerContext& ctx) {
   bool progress = true;
-  while (progress && !free.empty()) {
+  while (progress && !ctx.free_pool().empty()) {
     progress = false;
+    // The pool only shrinks when a grant ends the iteration, so one
+    // random-access snapshot serves every candidate this iteration.
+    const std::vector<GpuId> free = ctx.free_pool().ToVector();
 
     AppState* best_app = nullptr;
     int best_job = -1;
@@ -44,10 +45,9 @@ void GandivaPolicy::Schedule(const std::vector<GpuId>& free_gpus,
     if (best_app == nullptr) break;
 
     ctx.Grant(*best_app, best_app->jobs[best_job], best_pick);
-    for (GpuId g : best_pick)
-      free.erase(std::remove(free.begin(), free.end(), g), free.end());
     progress = true;
   }
+  return ctx.TakeGrants();
 }
 
 }  // namespace themis

@@ -24,12 +24,11 @@ double MarginalLossDecrease(const JobState& job, int gpus, Time lease,
 
 }  // namespace
 
-void SlaqPolicy::Schedule(const std::vector<GpuId>& free_gpus,
-                          SchedulerContext& ctx) {
-  std::vector<GpuId> free = free_gpus;
-
+GrantSet SlaqPolicy::RunRound(const ResourceOffer& /*offer*/,
+                              SchedulerContext& ctx) {
+  const FreePool& pool = ctx.free_pool();
   bool progress = true;
-  while (progress && !free.empty()) {
+  while (progress && !pool.empty()) {
     progress = false;
 
     // best_gain starts below zero so that even fully converged jobs (zero
@@ -43,7 +42,7 @@ void SlaqPolicy::Schedule(const std::vector<GpuId>& free_gpus,
         JobState& job = app->jobs[j];
         if (job.UnmetGangs() <= 0) continue;
         const int gang = job.spec.gpus_per_task;
-        if (static_cast<int>(free.size()) < gang) continue;
+        if (pool.size() < gang) continue;
         const int held = static_cast<int>(job.gpus.size());
         const double gain =
             MarginalLossDecrease(job, held + gang, ctx.lease_duration(),
@@ -60,13 +59,11 @@ void SlaqPolicy::Schedule(const std::vector<GpuId>& free_gpus,
     if (best_app == nullptr) break;
 
     JobState& job = best_app->jobs[best_job];
-    const int gang = job.spec.gpus_per_task;
-    // Placement-unaware: first free GPUs by id.
-    std::vector<GpuId> pick(free.begin(), free.begin() + gang);
-    free.erase(free.begin(), free.begin() + gang);
-    ctx.Grant(*best_app, job, pick);
+    // Placement-unaware: first pooled GPUs by id.
+    ctx.Grant(*best_app, job, pool.FirstN(job.spec.gpus_per_task));
     progress = true;
   }
+  return ctx.TakeGrants();
 }
 
 }  // namespace themis

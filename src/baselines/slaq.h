@@ -14,8 +14,8 @@ namespace themis {
 
 class SlaqPolicy final : public ISchedulerPolicy {
  public:
-  void Schedule(const std::vector<GpuId>& free_gpus,
-                SchedulerContext& ctx) override;
+  GrantSet RunRound(const ResourceOffer& offer,
+                    SchedulerContext& ctx) override;
   const char* name() const override { return "SLAQ"; }
 };
 

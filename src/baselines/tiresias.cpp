@@ -4,10 +4,8 @@
 
 namespace themis {
 
-void TiresiasPolicy::Schedule(const std::vector<GpuId>& free_gpus,
-                              SchedulerContext& ctx) {
-  std::vector<GpuId> free = free_gpus;  // ascending id order
-
+GrantSet TiresiasPolicy::RunRound(const ResourceOffer& /*offer*/,
+                                  SchedulerContext& ctx) {
   // Apps sorted by least attained service (ties: arrival order via AppId).
   AppList apps = ctx.apps();
   std::stable_sort(apps.begin(), apps.end(),
@@ -19,25 +17,25 @@ void TiresiasPolicy::Schedule(const std::vector<GpuId>& free_gpus,
 
   // Round-robin over the LAS order: each pass gives the neediest app one
   // gang until the pool or all demand is exhausted. Placement-unaware: take
-  // the first free GPUs by id.
+  // the first pooled GPUs by id.
+  const FreePool& pool = ctx.free_pool();
   bool progress = true;
-  while (progress && !free.empty()) {
+  while (progress && !pool.empty()) {
     progress = false;
     for (AppState* app : apps) {
       for (int j : app->ActiveJobs()) {
         JobState& job = app->jobs[j];
         if (job.UnmetGangs() <= 0) continue;
         const int gang = job.spec.gpus_per_task;
-        if (static_cast<int>(free.size()) < gang) continue;
-        std::vector<GpuId> pick(free.begin(), free.begin() + gang);
-        free.erase(free.begin(), free.begin() + gang);
-        ctx.Grant(*app, job, pick);
+        if (pool.size() < gang) continue;
+        ctx.Grant(*app, job, pool.FirstN(gang));
         progress = true;
         break;  // one gang per app per round
       }
-      if (free.empty()) break;
+      if (pool.empty()) break;
     }
   }
+  return ctx.TakeGrants();
 }
 
 }  // namespace themis

@@ -8,8 +8,8 @@ namespace themis {
 
 ThemisPolicy::ThemisPolicy(ThemisConfig config) : config_(config) {}
 
-void ThemisPolicy::Schedule(const std::vector<GpuId>& free_gpus,
-                            SchedulerContext& ctx) {
+GrantSet ThemisPolicy::RunRound(const ResourceOffer& offer,
+                                SchedulerContext& ctx) {
   Agent agent(&ctx.topology(), &ctx.estimator(), ctx.now());
 
   // Step 1: probe every active app for rho (Fig. 3, step 1).
@@ -18,10 +18,10 @@ void ThemisPolicy::Schedule(const std::vector<GpuId>& free_gpus,
     app->last_rho = agent.CurrentRho(*app);
     if (app->UnmetDemand() > 0) candidates.push_back(app);
   }
-  if (candidates.empty()) return;
+  if (candidates.empty()) return ctx.TakeGrants();
 
   // Step 2: sort by rho descending (worst-off first) and offer to the top
-  // 1-f fraction; always at least one app so the pass is work conserving.
+  // 1-f fraction; always at least one app so the round is work conserving.
   const bool short_first = config_.short_app_tiebreak;
   std::stable_sort(candidates.begin(), candidates.end(),
                    [short_first](const AppState* a, const AppState* b) {
@@ -41,10 +41,10 @@ void ThemisPolicy::Schedule(const std::vector<GpuId>& free_gpus,
       candidates.begin(),
       candidates.begin() + std::min<std::size_t>(n_offer, candidates.size()));
 
-  // Step 3: collect bids. The offered resource vector R-> is the per-machine
-  // free count the context precomputed from the cluster indices — no
-  // recount of the pool here.
-  const std::vector<int>& offered = ctx.free_per_machine();
+  // Step 3: collect bids against the offer's resource vector R-> and pool —
+  // the protocol inputs, no recount of the cluster's free state.
+  const std::vector<int>& offered = offer.free_per_machine;
+  const std::vector<GpuId>& free_gpus = offer.gpus;
 
   std::vector<AgentBid> bids;
   std::vector<BidTable> tables;
@@ -56,13 +56,14 @@ void ThemisPolicy::Schedule(const std::vector<GpuId>& free_gpus,
 
   // Step 4: partial allocation with hidden payments.
   const PaResult pa = PartialAllocation(tables, offered, config_.pa);
-  ++auctions_;
-  offered_gpus_ += static_cast<int>(free_gpus.size());
+  ctx.grants().diagnostics.auction_ran = true;
+  ctx.grants().diagnostics.auction_participants =
+      static_cast<int>(participants.size());
 
-  // Step 5: materialize grants. Each winner receives granted[m] GPUs on
-  // machine m, preferring the concrete GPUs its own bid row picked. Bids
-  // were prepared independently, so two rows may name the same GPU id even
-  // though the per-machine *counts* fit the offer; a shared free-set keeps
+  // Step 5: stage grants. Each winner receives granted[m] GPUs on machine m,
+  // preferring the concrete GPUs its own bid row picked. Bids were prepared
+  // independently, so two rows may name the same GPU id even though the
+  // per-machine *counts* fit the offer; a shared free-set keeps
   // materialization conflict-free.
   std::vector<bool> still_free(ctx.topology().num_gpus(), false);
   for (GpuId g : free_gpus) still_free[g] = true;
@@ -91,7 +92,7 @@ void ThemisPolicy::Schedule(const std::vector<GpuId>& free_gpus,
         for (GpuId g : it->second) take(g);
       for (GpuId g : ctx.topology().machine_gpus(m)) {
         if (need == 0) break;
-        if (ctx.cluster().IsFree(g)) take(g);
+        if (ctx.free_pool().Contains(g)) take(g);
       }
     }
     for (const JobAssignment& a : agent.DistributeToJobs(*app, concrete)) {
@@ -99,12 +100,12 @@ void ThemisPolicy::Schedule(const std::vector<GpuId>& free_gpus,
     }
     // GPUs Distribute left unassigned (no whole gang) return to the pool.
     for (GpuId g : concrete)
-      if (ctx.cluster().IsFree(g)) still_free[g] = true;
+      if (ctx.free_pool().Contains(g)) still_free[g] = true;
   }
 
   // Step 6: leftover allocation (work conserving).
   AllocateLeftovers(ctx, agent, participants);
-  leftover_gpus_ += ctx.cluster().num_free();
+  return ctx.TakeGrants();
 }
 
 void ThemisPolicy::AllocateLeftovers(
@@ -122,7 +123,7 @@ void ThemisPolicy::AllocateLeftovers(
     bool progress = true;
     while (progress) {
       progress = false;
-      std::vector<GpuId> free = ctx.cluster().FreeGpus();
+      std::vector<GpuId> free = ctx.free_pool().ToVector();
       if (free.empty()) return;
 
       // Candidates that can absorb at least one whole gang.

@@ -1,20 +1,22 @@
-// The THEMIS ARBITER — Pseudocode 1 of the paper.
+// The THEMIS ARBITER — Pseudocode 1 of the paper, as one protocol round.
 //
-// On every scheduling pass with free GPUs:
+// On every round with free GPUs:
 //   1. probe all active apps' AGENTs for their current rho,
-//   2. offer the free pool to the worst-off 1-f fraction (the fairness knob
-//      f trades finish-time fairness for placement efficiency, Sec. 8.2),
+//   2. offer the round's pool to the worst-off 1-f fraction (the fairness
+//      knob f trades finish-time fairness for placement efficiency,
+//      Sec. 8.2),
 //   3. collect one valuation-table bid per offered app,
 //   4. run the Partial Allocation mechanism to pick winning rows and apply
 //      hidden payments,
-//   5. hand each winner its (scaled) bundle, letting the app's own scheduler
-//      spread it over constituent jobs, and
-//   6. assign leftover GPUs work-conservingly to apps outside the auction,
+//   5. stage each winner's (scaled) bundle as grants, letting the app's own
+//      scheduler spread it over constituent jobs, and
+//   6. stage leftover GPUs work-conservingly for apps outside the auction,
 //      one gang at a time, preferring machines those apps already occupy
 //      (Sec. 5.1 "Leftover Allocation").
+// The returned GrantSet carries the round's auction diagnostics (offered /
+// granted / leftover counts, participant count); applying the leases is the
+// caller's job via ApplyGrants.
 #pragma once
-
-#include <memory>
 
 #include "auction/partial_allocation.h"
 #include "core/agent.h"
@@ -39,24 +41,15 @@ class ThemisPolicy final : public ISchedulerPolicy {
  public:
   explicit ThemisPolicy(ThemisConfig config = {});
 
-  void Schedule(const std::vector<GpuId>& free_gpus,
-                SchedulerContext& ctx) override;
+  GrantSet RunRound(const ResourceOffer& offer, SchedulerContext& ctx) override;
   const char* name() const override { return "Themis"; }
 
-  /// Diagnostics for the overhead benchmark and tests.
-  int auctions_run() const { return auctions_; }
-  int total_leftover_gpus() const { return leftover_gpus_; }
-  int total_offered_gpus() const { return offered_gpus_; }
-
  private:
-  /// Stage 6: hand out whatever is still free after the auction.
+  /// Stage 6: hand out whatever is still in the pool after the auction.
   void AllocateLeftovers(SchedulerContext& ctx, const Agent& agent,
                          const std::vector<AppState*>& participants);
 
   ThemisConfig config_;
-  int auctions_ = 0;
-  int leftover_gpus_ = 0;
-  int offered_gpus_ = 0;
 };
 
 }  // namespace themis

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <cstdio>
 #include <stdexcept>
 #include <thread>
 
@@ -55,9 +56,11 @@ std::unique_ptr<ISchedulerPolicy> MakePolicy(PolicyKind kind,
 }
 
 ExperimentResult RunExperimentWithApps(const ExperimentConfig& config,
-                                       std::vector<AppSpec> apps) {
+                                       std::vector<AppSpec> apps,
+                                       Simulator::RoundObserver round_observer) {
   Simulator sim(config.cluster, std::move(apps),
                 MakePolicy(config.policy, config.themis), config.sim);
+  if (round_observer) sim.set_round_observer(std::move(round_observer));
   SimResult run = sim.Run();
   const double contention = run.peak_contention;
 
@@ -72,12 +75,14 @@ ExperimentResult RunExperimentWithApps(const ExperimentConfig& config,
   result.peak_contention = contention;
   result.unfinished_apps = static_cast<int>(run.unfinished.size());
   result.machine_failures = run.machine_failures;
+  result.scheduling_passes = run.scheduling_passes;
   // Metric records accumulate in finish order; expose the per-app vectors in
   // AppId (== submission) order so callers can label them.
   std::vector<AppRecord> records = run.metrics.apps();
   std::sort(records.begin(), records.end(),
             [](const AppRecord& a, const AppRecord& b) { return a.app < b.app; });
   for (const AppRecord& rec : records) {
+    result.finished_apps.push_back(rec.app);
     result.rhos.push_back(rec.Rho());
     result.completion_times.push_back(rec.CompletionTime());
     result.placement_scores.push_back(rec.mean_placement_score);
@@ -140,46 +145,107 @@ std::vector<ScenarioSpec> PolicySeedGrid(
   return out;
 }
 
-std::vector<ScenarioRun> SweepRunner::Run(
-    const std::vector<ScenarioSpec>& scenarios) const {
-  std::vector<ScenarioRun> out(scenarios.size());
-  if (scenarios.empty()) return out;
+void RunParallel(std::size_t n, const std::function<void(std::size_t)>& fn,
+                 int num_threads) {
+  if (n == 0) return;
 
-  // Each worker claims the next unstarted scenario; every simulation is
-  // self-contained, so slot i's result is independent of scheduling order.
+  // Each worker claims the next unstarted index; callers write into
+  // per-index slots, so results are independent of scheduling order.
   std::atomic<std::size_t> next{0};
   auto worker = [&]() {
-    for (std::size_t i; (i = next.fetch_add(1)) < scenarios.size();) {
-      const ScenarioSpec& spec = scenarios[i];
-      ScenarioRun& run = out[i];
-      run.name = spec.name;
-      try {
-        run.result =
-            spec.trace_csv.empty()
-                ? RunExperiment(spec.config)
-                : RunExperimentWithApps(spec.config,
-                                        ReadTraceCsvFile(spec.trace_csv));
-        run.ok = true;
-      } catch (const std::exception& e) {
-        run.error = e.what();
-      }
-    }
+    for (std::size_t i; (i = next.fetch_add(1)) < n;) fn(i);
   };
 
-  int threads = num_threads_ > 0
-                    ? num_threads_
+  int threads = num_threads > 0
+                    ? num_threads
                     : static_cast<int>(std::thread::hardware_concurrency());
-  threads = std::max(1, std::min<int>(threads,
-                                      static_cast<int>(scenarios.size())));
+  threads = std::max(1, std::min<int>(threads, static_cast<int>(n)));
   if (threads == 1) {
     worker();
-    return out;
+    return;
   }
   std::vector<std::thread> pool;
   pool.reserve(threads);
   for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
+}
+
+std::vector<ScenarioRun> SweepRunner::Run(
+    const std::vector<ScenarioSpec>& scenarios) const {
+  std::vector<ScenarioRun> out(scenarios.size());
+  RunParallel(
+      scenarios.size(),
+      [&](std::size_t i) {
+        const ScenarioSpec& spec = scenarios[i];
+        ScenarioRun& run = out[i];
+        run.name = spec.name;
+        try {
+          run.result =
+              spec.trace_csv.empty()
+                  ? RunExperiment(spec.config)
+                  : RunExperimentWithApps(spec.config,
+                                          ReadTraceCsvFile(spec.trace_csv));
+          run.ok = true;
+        } catch (const std::exception& e) {
+          run.error = e.what();
+        }
+      },
+      num_threads_);
   return out;
+}
+
+namespace {
+
+/// RFC-4180-style field quoting: wrap when the value contains a comma,
+/// quote, or newline; double embedded quotes.
+std::string CsvField(const std::string& value) {
+  if (value.find_first_of(",\"\n\r") == std::string::npos) return value;
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  return out + "\"";
+}
+
+std::string CsvNumber(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string SweepCsv(const std::vector<ScenarioRun>& runs) {
+  std::string out =
+      "name,policy,ok,max_rho,median_rho,min_rho,jain,avg_act_min,"
+      "gpu_time_min,peak_contention,unfinished,machine_failures,"
+      "scheduling_passes,error\n";
+  for (const ScenarioRun& run : runs) {
+    const ExperimentResult& r = run.result;
+    out += CsvField(run.name) + ',' + CsvField(r.policy_name) + ',' +
+           (run.ok ? "1" : "0") + ',' + CsvNumber(r.max_fairness) + ',' +
+           CsvNumber(r.median_fairness) + ',' + CsvNumber(r.min_fairness) +
+           ',' + CsvNumber(r.jains_index) + ',' +
+           CsvNumber(r.avg_completion_time) + ',' + CsvNumber(r.gpu_time) +
+           ',' + CsvNumber(r.peak_contention) + ',' +
+           std::to_string(r.unfinished_apps) + ',' +
+           std::to_string(r.machine_failures) + ',' +
+           std::to_string(r.scheduling_passes) + ',' + CsvField(run.error) +
+           '\n';
+  }
+  return out;
+}
+
+void WriteSweepCsv(const std::string& path,
+                   const std::vector<ScenarioRun>& runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    throw std::runtime_error("WriteSweepCsv: cannot open " + path);
+  const std::string csv = SweepCsv(runs);
+  const bool ok = std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
+  if (std::fclose(f) != 0 || !ok)
+    throw std::runtime_error("WriteSweepCsv: write to " + path + " failed");
 }
 
 ExperimentConfig SimScaleConfig(PolicyKind policy, std::uint64_t seed,

@@ -3,6 +3,7 @@
 // and returns the metric summaries the paper's figures report.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,6 +42,12 @@ struct ExperimentResult {
   double peak_contention = 0.0;
   int unfinished_apps = 0;
   int machine_failures = 0;
+  int scheduling_passes = 0;
+  /// AppIds of the finished apps, aligned index-for-index with the per-app
+  /// vectors below (unfinished apps have no record); ascending. The
+  /// federation layer uses these to stitch shard results back into global
+  /// app order.
+  std::vector<AppId> finished_apps;
   std::vector<double> rhos;
   std::vector<double> completion_times;
   std::vector<double> placement_scores;
@@ -50,9 +57,12 @@ struct ExperimentResult {
 /// Generate the trace from `config.trace`, run one simulation, summarize.
 ExperimentResult RunExperiment(const ExperimentConfig& config);
 
-/// Run with a pre-built app list (used by the Fig. 8 hand-picked scenario).
-ExperimentResult RunExperimentWithApps(const ExperimentConfig& config,
-                                       std::vector<AppSpec> apps);
+/// Run with a pre-built app list (used by the Fig. 8 hand-picked scenario
+/// and the federation shards). `round_observer`, when set, sees every
+/// (offer, grants) round of the run.
+ExperimentResult RunExperimentWithApps(
+    const ExperimentConfig& config, std::vector<AppSpec> apps,
+    Simulator::RoundObserver round_observer = {});
 
 /// The testbed-scale configuration of Sec. 8.3: 50-GPU cluster, durations
 /// scaled down 5x, same inter-arrival distribution.
@@ -107,6 +117,14 @@ std::vector<ScenarioSpec> PolicySeedGrid(const ExperimentConfig& base,
                                          const std::vector<PolicyKind>& policies,
                                          const std::vector<std::uint64_t>& seeds);
 
+/// The sweep thread pool: run `fn(0..n-1)` across up to `num_threads`
+/// workers (0 = hardware concurrency), each claiming the next unstarted
+/// index. Shared by SweepRunner (scenario grids) and ShardedArbiter
+/// (parallel shard rounds); callers write results into per-index slots, so
+/// the outcome is independent of scheduling order.
+void RunParallel(std::size_t n, const std::function<void(std::size_t)>& fn,
+                 int num_threads = 0);
+
 /// Thread-pooled scenario runner. Results come back in input order; a
 /// num_threads of 0 uses the hardware concurrency.
 class SweepRunner {
@@ -118,5 +136,15 @@ class SweepRunner {
  private:
   int num_threads_;
 };
+
+/// Write one CSV row per ScenarioRun (header + name, policy, metric
+/// summary, ok/error) so scenario grids feed plotting directly. Fields
+/// containing commas/quotes/newlines are quoted. Throws std::runtime_error
+/// when the file cannot be written.
+void WriteSweepCsv(const std::string& path,
+                   const std::vector<ScenarioRun>& runs);
+
+/// The CSV text WriteSweepCsv emits (exposed for tests and embedders).
+std::string SweepCsv(const std::vector<ScenarioRun>& runs);
 
 }  // namespace themis

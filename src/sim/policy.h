@@ -1,31 +1,45 @@
-// The inter-app scheduling policy interface — the bottom level of the
-// two-level architecture (Sec. 2.3). ThemisPolicy and the three baseline
-// emulations (Gandiva / Tiresias / SLAQ, Sec. 8 intro) all implement this:
-// whenever GPUs are reclaimed or apps arrive/finish, the simulator invokes
-// Schedule() with the free pool, and the policy grants GPUs through the
-// context. The simulator applies restart overheads, lease bookkeeping and
-// finish-event rescheduling afterwards.
+// The inter-app scheduling context — the state a round scheduler works
+// against (Sec. 2.3). ThemisPolicy and the four baseline emulations
+// (Gandiva / Tiresias / SLAQ / DRF, Sec. 8 intro) all implement
+// IRoundScheduler (core/round.h): whenever GPUs are reclaimed or apps
+// arrive/finish, the simulator publishes a ResourceOffer, the scheduler
+// stages grants through this context and returns a GrantSet, and the
+// simulator applies the leases through ApplyGrants. The simulator then
+// applies restart overheads, lease bookkeeping and finish-event
+// rescheduling.
 #pragma once
 
+#include <vector>
+
 #include "common/rng.h"
+#include "core/round.h"
 #include "estimator/work_estimator.h"
 #include "sim/state.h"
 
 namespace themis {
 
+/// Staging area for one round. Construction snapshots the offer into a
+/// FreePool; every Grant() moves GPUs from the pool onto the job's gang and
+/// into the pending GrantSet, so mid-round reads (pool membership,
+/// per-machine counts, JobState::gpus) see every grant staged so far without
+/// any cluster mutation. One context runs exactly one round.
 class SchedulerContext {
  public:
+  /// Round-protocol construction: the context adopts the offer's pool and
+  /// lease terms. `offer` must snapshot `cluster`'s current free pool.
+  SchedulerContext(const ResourceOffer& offer, Cluster* cluster,
+                   WorkEstimator* estimator, AppList* apps, Rng* rng);
+
+  /// Legacy construction: snapshots the cluster's free pool itself (an
+  /// anonymous round 0 offer). Kept for tests and embedders that drive
+  /// ISchedulerPolicy::Schedule directly.
   SchedulerContext(Time now, Cluster* cluster, WorkEstimator* estimator,
-                   Time lease_duration, AppList* apps, Rng* rng)
-      : now_(now),
-        cluster_(cluster),
-        estimator_(estimator),
-        lease_duration_(lease_duration),
-        apps_(apps),
-        rng_(rng),
-        free_per_machine_(cluster->FreeGpusPerMachine()) {}
+                   Time lease_duration, AppList* apps, Rng* rng);
 
   Time now() const { return now_; }
+  /// Read-only cluster topology/lease queries. Free-pool state must be read
+  /// through free_pool(): the cluster does not see this round's grants until
+  /// ApplyGrants runs.
   Cluster& cluster() { return *cluster_; }
   const Topology& topology() const { return cluster_->topology(); }
   WorkEstimator& estimator() { return *estimator_; }
@@ -34,15 +48,28 @@ class SchedulerContext {
   const AppList& apps() const { return *apps_; }
   Rng& rng() { return *rng_; }
 
-  /// Free GPU count per machine — the auction's offered resource vector,
-  /// computed once per pass from the cluster indices and kept consistent as
-  /// the policy grants GPUs. Policies read this instead of recounting the
-  /// free pool per machine.
-  const std::vector<int>& free_per_machine() const { return free_per_machine_; }
+  /// The offer's pool, shrunk by every grant staged so far. Policies read
+  /// this instead of recounting the cluster's free state.
+  const FreePool& free_pool() const { return pool_; }
 
-  /// Lease `gpus` to (app, job) until now + lease_duration. The GPUs must be
-  /// free; the job records them immediately.
+  /// Free GPU count per machine for the GPUs still in the pool. At round
+  /// start this equals the offer's resource vector R->.
+  const std::vector<int>& free_per_machine() const {
+    return pool_.per_machine();
+  }
+
+  /// Stage a grant: lease `gpus` to (app, job) until now + lease_duration.
+  /// The GPUs must be in the pool; they leave it, the job records them
+  /// immediately (the AGENT side of the protocol), and the pending GrantSet
+  /// gains one Grant. The cluster is not touched.
   void Grant(AppState& app, JobState& job, const std::vector<GpuId>& gpus);
+
+  /// The pending grant set (e.g. for a policy stamping auction diagnostics).
+  GrantSet& grants() { return grants_; }
+
+  /// Finish the round: stamp the pool-level diagnostics (offered / granted /
+  /// leftover) and move the GrantSet out. The context is spent afterwards.
+  GrantSet TakeGrants();
 
  private:
   Time now_;
@@ -51,25 +78,27 @@ class SchedulerContext {
   Time lease_duration_;
   AppList* apps_;
   Rng* rng_;
-  std::vector<int> free_per_machine_;
+  FreePool pool_;
+  GrantSet grants_;
+  int offered_gpus_ = 0;
+  int granted_gpus_ = 0;
 };
 
-class ISchedulerPolicy {
+/// Legacy single-call policy API, now a thin adapter over IRoundScheduler:
+/// Schedule() wraps the context's pool into a ResourceOffer, runs one round,
+/// and immediately applies the grants to the context's cluster. The
+/// simulator does not use it — it drives RunRound/ApplyGrants itself — but
+/// tests and embedders keep a one-line entry point.
+class ISchedulerPolicy : public IRoundScheduler {
  public:
-  virtual ~ISchedulerPolicy() = default;
-
-  /// Allocate (some of) `free_gpus` among the context's apps.
-  ///
-  /// Precondition: `free_gpus` is the cluster's complete current free pool
-  /// (`ctx.cluster().FreeGpus()` with no mutation since the context was
-  /// built), so it agrees with ctx.free_per_machine() — ThemisPolicy uses
-  /// that vector as the auction's offered resources. Passing a filtered
-  /// subset would let the auction award GPUs the materialization step
-  /// cannot take.
-  virtual void Schedule(const std::vector<GpuId>& free_gpus,
-                        SchedulerContext& ctx) = 0;
-
-  virtual const char* name() const = 0;
+  /// Run one round and apply it. Precondition: `free_gpus` is the cluster's
+  /// complete current free pool (`ctx.cluster().FreeGpus()` with no mutation
+  /// since the context was built), so it agrees with ctx.free_pool() — the
+  /// auction uses the matching per-machine counts as its offered resources.
+  /// Passing a filtered subset would let the auction award GPUs the
+  /// materialization step cannot take. Returns the applied GrantSet.
+  GrantSet Schedule(const std::vector<GpuId>& free_gpus,
+                    SchedulerContext& ctx);
 };
 
 }  // namespace themis

@@ -35,19 +35,11 @@ void SimConfig::Validate() const {
         std::to_string(machine_repair_minutes) + ")");
 }
 
-void SchedulerContext::Grant(AppState& app, JobState& job,
-                             const std::vector<GpuId>& gpus) {
-  for (GpuId g : gpus) {
-    cluster_->Allocate(g, app.id, job.id, now_ + lease_duration_);
-    job.gpus.push_back(g);
-    --free_per_machine_[cluster_->topology().gpu(g).machine];
-  }
-}
-
 Simulator::Simulator(ClusterSpec cluster_spec, std::vector<AppSpec> specs,
-                     std::unique_ptr<ISchedulerPolicy> policy, SimConfig config)
+                     std::unique_ptr<IRoundScheduler> scheduler,
+                     SimConfig config)
     : cluster_(std::move(cluster_spec)),
-      policy_(std::move(policy)),
+      scheduler_(std::move(scheduler)),
       config_(config),
       estimator_(config.estimator),
       rng_(config.seed) {
@@ -233,13 +225,27 @@ void Simulator::SchedulingPass(Time t) {
                               static_cast<double>(demand) /
                                   static_cast<double>(cluster_.num_gpus()));
 
-  // 3. Run the inter-app policy on the free pool, computed once from the
-  // cluster indices; the context carries the matching per-machine counts.
-  const std::vector<GpuId> free = cluster_.FreeGpus();
+  // 3. One ARBITER round: publish the offer (free pool computed once from
+  // the cluster indices, round id = pass number), let the scheduler stage
+  // its grants against the offer's pool, then apply the leases — the single
+  // grant-application path; policies never touch the cluster.
+  std::vector<GpuId> free = cluster_.FreeGpus();
   if (!free.empty() && !active_apps_.empty()) {
-    SchedulerContext ctx(t, &cluster_, &estimator_, config_.lease_minutes,
-                         &active_apps_, &rng_);
-    policy_->Schedule(free, ctx);
+    ResourceOffer offer;
+    offer.round_id = static_cast<std::uint64_t>(passes_);
+    offer.time = t;
+    offer.lease_duration = config_.lease_minutes;
+    offer.free_per_machine = cluster_.FreeGpusPerMachine();
+    offer.gpus = std::move(free);
+    SchedulerContext ctx(offer, &cluster_, &estimator_, &active_apps_, &rng_);
+    const GrantSet grants = scheduler_->RunRound(offer, ctx);
+    ApplyGrants(grants, cluster_);
+    if (grants.diagnostics.auction_ran)
+      metrics_.RecordAuction(grants.diagnostics.auction_participants,
+                             grants.diagnostics.offered_gpus,
+                             grants.diagnostics.granted_gpus,
+                             grants.diagnostics.leftover_gpus);
+    if (round_observer_) round_observer_(offer, grants);
   }
 
   // 4. Apply restart overheads for changed gangs; sample placement scores.

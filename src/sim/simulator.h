@@ -1,14 +1,17 @@
 // Event-driven GPU-cluster simulator (Sec. 8.1 "Simulator").
 //
 // The simulator advances job progress between events, reclaims expired
-// leases, invokes the per-app tuners (HyperBand / HyperDrive) and the
-// inter-app scheduling policy at every scheduling pass, and applies the
+// leases, invokes the per-app tuners (HyperBand / HyperDrive), and runs one
+// ARBITER round per scheduling pass: it publishes a ResourceOffer, hands it
+// to the IRoundScheduler, and applies the returned GrantSet itself through
+// ApplyGrants — policies never mutate the cluster. It then applies the
 // checkpoint/restart overhead whenever a job's gang changes. An app finishes
 // when its first job reaches the target accuracy — that job is the "best
 // model" that defines the app's finish time (Sec. 2.1) — at which point the
 // remaining jobs are terminated and their GPUs reclaimed.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <set>
 #include <vector>
@@ -69,13 +72,22 @@ struct SimResult {
 class Simulator {
  public:
   Simulator(ClusterSpec cluster_spec, std::vector<AppSpec> apps,
-            std::unique_ptr<ISchedulerPolicy> policy, SimConfig config = {});
+            std::unique_ptr<IRoundScheduler> scheduler, SimConfig config = {});
 
   /// Run to completion (all apps finished) or to config.max_time.
   SimResult Run();
 
   const Cluster& cluster() const { return cluster_; }
   const std::vector<std::unique_ptr<AppState>>& apps() const { return apps_; }
+
+  /// Observe every (offer, grants) round as it is applied — the federation
+  /// layer uses this to check cross-shard invariants; tests use it to audit
+  /// grant streams. Called after ApplyGrants, before overhead accounting.
+  using RoundObserver =
+      std::function<void(const ResourceOffer&, const GrantSet&)>;
+  void set_round_observer(RoundObserver observer) {
+    round_observer_ = std::move(observer);
+  }
 
  private:
   void AdvanceTo(Time t);
@@ -96,7 +108,8 @@ class Simulator {
   /// per-pass walk (progress advance, tuner step, finish-event rescheduling)
   /// iterates this set instead of rescanning apps_.
   AppList active_apps_;
-  std::unique_ptr<ISchedulerPolicy> policy_;
+  std::unique_ptr<IRoundScheduler> scheduler_;
+  RoundObserver round_observer_;
   SimConfig config_;
   WorkEstimator estimator_;
   Rng rng_;

@@ -285,5 +285,51 @@ TEST(SweepRunner, PolicySeedGridNamesAndSeedsScenarios) {
   EXPECT_EQ(specs[3].config.sim.seed, 8u);
 }
 
+TEST(SweepCsv, OneRowPerRunWithHeaderAndQuoting) {
+  ScenarioRun ok;
+  ok.name = "themis,f=0.8";  // comma forces quoting
+  ok.ok = true;
+  ok.result.policy_name = "Themis";
+  ok.result.max_fairness = 2.5;
+  ok.result.unfinished_apps = 0;
+  ok.result.scheduling_passes = 17;
+  ScenarioRun failed;
+  failed.name = "bad";
+  failed.error = "boom \"quoted\"";
+
+  const std::string csv = SweepCsv({ok, failed});
+  std::vector<std::string> lines;
+  for (std::size_t pos = 0, next; pos < csv.size(); pos = next + 1) {
+    next = csv.find('\n', pos);
+    lines.push_back(csv.substr(pos, next - pos));
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0],
+            "name,policy,ok,max_rho,median_rho,min_rho,jain,avg_act_min,"
+            "gpu_time_min,peak_contention,unfinished,machine_failures,"
+            "scheduling_passes,error");
+  EXPECT_EQ(lines[1].substr(0, 27), "\"themis,f=0.8\",Themis,1,2.5");
+  EXPECT_NE(lines[1].find(",17,"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"boom \"\"quoted\"\"\""), std::string::npos);
+  EXPECT_EQ(lines[2].substr(0, 7), "bad,,0,");
+}
+
+TEST(SweepCsv, WritesScenarioGridResultsToDisk) {
+  const auto specs = PolicySeedGrid(SmallConfig(PolicyKind::kThemis, 3),
+                                    {PolicyKind::kThemis, PolicyKind::kDrf},
+                                    {3});
+  const auto runs = SweepRunner(2).Run(specs);
+  const std::string path = ::testing::TempDir() + "/sweep_results.csv";
+  WriteSweepCsv(path, runs);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(in, line))
+    if (!line.empty()) ++rows;
+  EXPECT_EQ(rows, 1 + runs.size());  // header + one row per scenario
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace themis

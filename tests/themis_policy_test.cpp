@@ -46,11 +46,11 @@ class ThemisPolicyTest : public ::testing::Test {
   ThemisPolicyTest()
       : cluster_(ClusterSpec::Uniform(2, 2, 4, 2)), est_({}), rng_(1) {}
 
-  void Schedule(ThemisPolicy& policy, Time now = 0.0) {
+  GrantSet Schedule(ThemisPolicy& policy, Time now = 0.0) {
     AppList list;
     for (auto& app : apps_) list.push_back(app.get());
     SchedulerContext ctx(now, &cluster_, &est_, /*lease=*/20.0, &list, &rng_);
-    policy.Schedule(cluster_.FreeGpus(), ctx);
+    return policy.Schedule(cluster_.FreeGpus(), ctx);
   }
 
   Cluster cluster_;
@@ -180,13 +180,31 @@ TEST_F(ThemisPolicyTest, DeterministicAcrossIdenticalRuns) {
   EXPECT_EQ(run_once(), run_once());
 }
 
-TEST_F(ThemisPolicyTest, AuctionCountersAdvance) {
+TEST_F(ThemisPolicyTest, RoundDiagnosticsReportTheAuction) {
   apps_.push_back(MakeApp(0, 0.0, {MakeJobSpec(40.0, 1, 2)}));
   ThemisPolicy policy;
-  EXPECT_EQ(policy.auctions_run(), 0);
-  Schedule(policy);
-  EXPECT_EQ(policy.auctions_run(), 1);
-  EXPECT_EQ(policy.total_offered_gpus(), 16);
+  const GrantSet grants = Schedule(policy);
+  EXPECT_TRUE(grants.diagnostics.auction_ran);
+  EXPECT_EQ(grants.diagnostics.auction_participants, 1);
+  EXPECT_EQ(grants.diagnostics.offered_gpus, 16);
+  EXPECT_EQ(grants.diagnostics.granted_gpus, 2);
+  EXPECT_EQ(grants.diagnostics.leftover_gpus, 14);
+  EXPECT_EQ(grants.TotalGpus(), 2);
+}
+
+TEST_F(ThemisPolicyTest, DiagnosticsResetEveryRound) {
+  // The old stateful counters accumulated across simulator runs when a
+  // policy instance was reused; per-round GrantSet diagnostics must not.
+  apps_.push_back(MakeApp(0, 0.0, {MakeJobSpec(40.0, 1, 2)}));
+  ThemisPolicy policy;
+  const GrantSet first = Schedule(policy);
+  EXPECT_EQ(first.diagnostics.granted_gpus, 2);
+  // Demand met: the next round offers the remaining 14 GPUs, grants none.
+  const GrantSet second = Schedule(policy);
+  EXPECT_EQ(second.diagnostics.offered_gpus, 14);
+  EXPECT_EQ(second.diagnostics.granted_gpus, 0);
+  EXPECT_FALSE(second.diagnostics.auction_ran);
+  EXPECT_TRUE(second.grants.empty());
 }
 
 }  // namespace
