@@ -63,24 +63,53 @@ inline const ExperimentResult& RequireOk(const ScenarioRun& run) {
   return run.result;
 }
 
-inline MacroSummary RunMacro(PolicyKind policy) {
-  // The three seed runs are independent simulations; the SweepRunner
-  // executes them in parallel and hands results back in seed order, so the
-  // aggregation (and its floating-point addition order) matches the old
-  // serial loop exactly.
-  const std::vector<ScenarioSpec> specs = PolicySeedGrid(
-      ContendedTestbedConfig(policy), {policy}, {42, 43, 44});
+/// Aggregate one policy's seed runs (in seed order, so the floating-point
+/// addition order matches the original serial loop exactly).
+inline MacroSummary SummarizeMacroRuns(std::vector<ScenarioRun> runs) {
   MacroSummary out;
-  for (ScenarioRun& run : SweepRunner().Run(specs)) {
+  const double n = static_cast<double>(runs.size());
+  for (ScenarioRun& run : runs) {
     RequireOk(run);
-    out.max_fairness += run.result.max_fairness / 3.0;
-    out.jains_index += run.result.jains_index / 3.0;
-    out.avg_completion_time += run.result.avg_completion_time / 3.0;
-    out.gpu_time += run.result.gpu_time / 3.0;
-    out.peak_contention += run.result.peak_contention / 3.0;
+    out.max_fairness += run.result.max_fairness / n;
+    out.jains_index += run.result.jains_index / n;
+    out.avg_completion_time += run.result.avg_completion_time / n;
+    out.gpu_time += run.result.gpu_time / n;
+    out.peak_contention += run.result.peak_contention / n;
     out.last = std::move(run.result);
   }
   return out;
+}
+
+inline MacroSummary RunMacro(PolicyKind policy) {
+  // The three seed runs are independent simulations; the SweepRunner
+  // executes them in parallel and hands results back in seed order.
+  return SummarizeMacroRuns(SweepRunner().Run(
+      PolicySeedGrid(ContendedTestbedConfig(policy), {policy}, {42, 43, 44})));
+}
+
+/// The path BENCH_<name>.csv lands at, honoring $BENCH_OUT_DIR like
+/// BenchReport::Write — the per-scenario metric rows every PolicySeedGrid
+/// bench archives next to its JSON report.
+inline std::string BenchCsvPath(const std::string& name) {
+  std::string path = "BENCH_" + name + ".csv";
+  if (const char* dir = std::getenv("BENCH_OUT_DIR"); dir && *dir)
+    path = std::string(dir) + "/" + path;
+  return path;
+}
+
+/// Write a grid's scenario rows as CSV; failures are reported but do not
+/// abort the bench (the JSON report already carries the headline metrics).
+inline bool WriteBenchCsv(const std::string& name,
+                          const std::vector<ScenarioRun>& runs) {
+  const std::string path = BenchCsvPath(name);
+  try {
+    WriteSweepCsv(path, runs);
+    std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
+    return true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return false;
+  }
 }
 
 inline constexpr PolicyKind kAllPolicies[] = {

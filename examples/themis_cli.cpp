@@ -2,6 +2,7 @@
 //
 //   themis_cli [--policy themis|gandiva|tiresias|slaq|drf]
 //              [--cluster sim256|testbed50|RxMxG (e.g. 2x4x4)]
+//              [--generations SPEC (e.g. K80:0.25,V100:0.5,A100:0.25)]
 //              [--apps N] [--seed S] [--contention C] [--lease MIN]
 //              [--knob F] [--theta T] [--mtbf MIN] [--sensitive FRAC]
 //              [--trace-out FILE] [--trace-in FILE] [--cdf]
@@ -20,6 +21,12 @@
 // With --sweep, runs every scenario in the JSON file on the thread-pooled
 // SweepRunner instead (see examples/scenarios.json for the format);
 // --csv FILE additionally writes the per-scenario metric rows for plotting.
+// --generations assigns GPU generations to the cluster's machines by
+// fraction, in rack-major machine order (e.g. K80:0.25,V100:0.5,A100:0.25:
+// the first quarter of machines are K80s, ...). It is a cluster transform,
+// not a cluster choice, so it composes with --cluster, with --shards (the
+// partition inherits the mixed machines), and with --sweep (every
+// scenario's cluster is re-priced).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +46,8 @@ using namespace themis;
   std::fprintf(stderr,
                "usage: %s [--policy themis|gandiva|tiresias|slaq|drf]\n"
                "          [--cluster sim256|testbed50|RxMxG] [--apps N]\n"
+               "          [--generations NAME:FRAC,... (e.g. "
+               "K80:0.25,V100:0.5,A100:0.25)]\n"
                "          [--seed S] [--contention C] [--lease MIN]\n"
                "          [--knob F] [--theta T] [--mtbf MIN]\n"
                "          [--sensitive FRAC] [--trace-out FILE]\n"
@@ -58,10 +67,15 @@ PolicyKind ParsePolicy(const std::string& name) {
   }
 }
 
-int RunSweep(const std::string& path, int threads, const std::string& csv) {
+int RunSweep(const std::string& path, int threads, const std::string& csv,
+             const std::vector<GenerationShare>& generations) {
   std::vector<ScenarioSpec> scenarios;
   try {
     scenarios = LoadScenariosFile(path);
+    // --generations re-prices every scenario's cluster (shape untouched).
+    if (!generations.empty())
+      for (ScenarioSpec& s : scenarios)
+        ApplyGenerationMix(s.config.cluster, generations);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
@@ -150,11 +164,14 @@ int main(int argc, char** argv) {
   config.cluster = ClusterSpec::Simulation256();
   config.trace.num_apps = 60;
   std::string trace_in, trace_out, sweep_file, csv_file;
+  std::vector<GenerationShare> generations;
   int sweep_threads = 0;
   int shards = 0;
   bool print_cdf = false;
   // Sweep mode takes every setting from the scenario file; reject
   // single-run flags alongside --sweep instead of silently dropping them.
+  // --generations is exempt: it transforms whatever cluster each scenario
+  // chose rather than replacing a scenario setting.
   const char* single_run_flag = nullptr;
 
   for (int i = 1; i < argc; ++i) {
@@ -164,10 +181,18 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg != "--sweep" && arg != "--threads" && arg != "--csv" &&
-        arg != "--help" && arg != "-h")
+        arg != "--generations" && arg != "--help" && arg != "-h")
       single_run_flag = argv[i];
     if (arg == "--policy") config.policy = ParsePolicy(next());
     else if (arg == "--cluster") config.cluster = ParseCluster(next());
+    else if (arg == "--generations") {
+      try {
+        generations = ParseGenerationMix(next());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "--generations: %s\n", e.what());
+        return 2;
+      }
+    }
     else if (arg == "--apps") config.trace.num_apps = std::atoi(next().c_str());
     else if (arg == "--seed") {
       config.trace.seed = std::strtoull(next().c_str(), nullptr, 10);
@@ -207,7 +232,15 @@ int main(int argc, char** argv) {
                    single_run_flag);
       return 2;
     }
-    return RunSweep(sweep_file, sweep_threads, csv_file);
+    return RunSweep(sweep_file, sweep_threads, csv_file, generations);
+  }
+  if (!generations.empty()) {
+    try {
+      ApplyGenerationMix(config.cluster, generations);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--generations: %s\n", e.what());
+      return 2;
+    }
   }
   if (!csv_file.empty()) {
     std::fprintf(stderr, "--csv only applies to --sweep runs\n");

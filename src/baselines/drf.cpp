@@ -8,19 +8,26 @@ GrantSet DrfPolicy::RunRound(const ResourceOffer& /*offer*/,
                              SchedulerContext& ctx) {
   // Max-min on instantaneous GPU share: one gang at a time to the app with
   // the smallest current holding (dominant share == GPU share in a
-  // single-resource cluster).
+  // single-resource cluster). Shares are *effective* — speed-weighted GPU
+  // counts — so an app holding two A100s is richer than one holding two
+  // K80s; on uniform-speed clusters the weighted share equals the raw count
+  // and the decisions are unchanged.
   const FreePool& pool = ctx.free_pool();
+  const Topology& topo = ctx.topology();
   while (!pool.empty()) {
     AppState* poorest = nullptr;
+    double poorest_share = 0.0;
     int poorest_job = -1;
     for (AppState* app : ctx.apps()) {
       for (int j : app->ActiveJobs()) {
         JobState& job = app->jobs[j];
         if (job.UnmetGangs() <= 0) continue;
         if (job.spec.gpus_per_task > pool.size()) continue;
-        if (poorest == nullptr || app->GpusHeld() < poorest->GpusHeld() ||
-            (app->GpusHeld() == poorest->GpusHeld() && app->id < poorest->id)) {
+        const double share = app->EffectiveGpusHeld(topo);
+        if (poorest == nullptr || share < poorest_share ||
+            (share == poorest_share && app->id < poorest->id)) {
           poorest = app;
+          poorest_share = share;
           poorest_job = j;
         }
         break;  // evaluating one eligible job per app suffices for the share
@@ -29,8 +36,9 @@ GrantSet DrfPolicy::RunRound(const ResourceOffer& /*offer*/,
     if (poorest == nullptr) break;
 
     JobState& job = poorest->jobs[poorest_job];
-    // Placement-unaware: first pooled GPUs by id.
-    ctx.Grant(*poorest, job, pool.FirstN(job.spec.gpus_per_task));
+    // Placement-unaware, speed-aware: fastest pooled GPUs first (the first
+    // pooled ids on uniform-speed clusters).
+    ctx.Grant(*poorest, job, pool.FirstNFastest(job.spec.gpus_per_task));
   }
   return ctx.TakeGrants();
 }

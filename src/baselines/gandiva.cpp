@@ -26,6 +26,9 @@ GrantSet GandivaPolicy::RunRound(const ResourceOffer& /*offer*/,
         if (job.UnmetGangs() <= 0) continue;
         const int gang = job.spec.gpus_per_task;
         if (static_cast<int>(free.size()) < gang) continue;
+        // Speed-aware through the placement picker: at equal locality it
+        // prefers machines of the fastest generation (no-op on uniform
+        // clusters).
         std::vector<GpuId> pick =
             PickBestPlacedNear(gang, free, job.gpus, ctx.topology());
         if (static_cast<int>(pick.size()) < gang) continue;

@@ -59,8 +59,10 @@ GrantSet SlaqPolicy::RunRound(const ResourceOffer& /*offer*/,
     if (best_app == nullptr) break;
 
     JobState& job = best_app->jobs[best_job];
-    // Placement-unaware: first pooled GPUs by id.
-    ctx.Grant(*best_app, job, pool.FirstN(job.spec.gpus_per_task));
+    // Placement-unaware, speed-aware: fastest pooled GPUs first (identical
+    // to the first-by-id pick on uniform-speed clusters). SLAQ's bids still
+    // assume the ideal rate; actual progress pays the real speed.
+    ctx.Grant(*best_app, job, pool.FirstNFastest(job.spec.gpus_per_task));
     progress = true;
   }
   return ctx.TakeGrants();

@@ -16,8 +16,11 @@ GrantSet TiresiasPolicy::RunRound(const ResourceOffer& /*offer*/,
                    });
 
   // Round-robin over the LAS order: each pass gives the neediest app one
-  // gang until the pool or all demand is exhausted. Placement-unaware: take
-  // the first pooled GPUs by id.
+  // gang until the pool or all demand is exhausted. Placement-unaware but
+  // speed-aware: take the fastest pooled GPUs first (on a uniform-speed
+  // cluster this is the first pooled ids, exactly the classic pick). The
+  // attained service driving the sort is effective (speed-weighted)
+  // GPU-time, so LAS stays meaningful across generations.
   const FreePool& pool = ctx.free_pool();
   bool progress = true;
   while (progress && !pool.empty()) {
@@ -28,7 +31,7 @@ GrantSet TiresiasPolicy::RunRound(const ResourceOffer& /*offer*/,
         if (job.UnmetGangs() <= 0) continue;
         const int gang = job.spec.gpus_per_task;
         if (pool.size() < gang) continue;
-        ctx.Grant(*app, job, pool.FirstN(gang));
+        ctx.Grant(*app, job, pool.FirstNFastest(gang));
         progress = true;
         break;  // one gang per app per round
       }

@@ -10,25 +10,46 @@ Cluster::Cluster(ClusterSpec spec)
       leases_(topo_.num_gpus()),
       machine_down_(topo_.num_machines(), false),
       free_on_machine_(topo_.num_machines()) {
-  for (MachineId m = 0; m < static_cast<MachineId>(topo_.num_machines()); ++m)
+  for (MachineId m = 0; m < static_cast<MachineId>(topo_.num_machines()); ++m) {
     free_on_machine_[m] = topo_.machine_gpus(m);  // ascending by construction
+    free_speed_total_ +=
+        topo_.machine_speed(m) * static_cast<double>(free_on_machine_[m].size());
+  }
 }
 
 void Cluster::TakeFromFreeList(GpuId gpu) {
-  auto& free = free_on_machine_[topo_.gpu(gpu).machine];
+  const MachineId m = topo_.gpu(gpu).machine;
+  auto& free = free_on_machine_[m];
   // The caller verified the GPU is free, so it must be listed.
   free.erase(std::lower_bound(free.begin(), free.end(), gpu));
+  if (!machine_down_[m]) free_speed_total_ -= topo_.machine_speed(m);
 }
 
 void Cluster::ReturnToFreeList(GpuId gpu) {
-  auto& free = free_on_machine_[topo_.gpu(gpu).machine];
+  const MachineId m = topo_.gpu(gpu).machine;
+  auto& free = free_on_machine_[m];
   free.insert(std::lower_bound(free.begin(), free.end(), gpu), gpu);
+  if (!machine_down_[m]) free_speed_total_ += topo_.machine_speed(m);
 }
 
 std::vector<GpuId> Cluster::FreeGpus() const {
   std::vector<GpuId> out;
   out.reserve(num_gpus() - num_allocated_);
   for (MachineId m = 0; m < free_on_machine_.size(); ++m) {
+    if (machine_down_[m]) continue;
+    out.insert(out.end(), free_on_machine_[m].begin(),
+               free_on_machine_[m].end());
+  }
+  return out;
+}
+
+std::vector<GpuId> Cluster::FreeGpusBySpeed() const {
+  // Same ordering contract as FreePool::FirstNFastest: both concatenate in
+  // Topology::machines_by_speed() order (the single home of the speed
+  // tie-break), ascending GPU id within a machine.
+  std::vector<GpuId> out;
+  out.reserve(num_gpus() - num_allocated_);
+  for (MachineId m : topo_.machines_by_speed()) {
     if (machine_down_[m]) continue;
     out.insert(out.end(), free_on_machine_[m].begin(),
                free_on_machine_[m].end());
@@ -138,7 +159,14 @@ void Cluster::Renew(GpuId gpu, Time new_expiry) {
 void Cluster::SetMachineDown(MachineId machine, bool down) {
   if (machine >= machine_down_.size())
     throw std::out_of_range("SetMachineDown: bad machine id");
-  if (machine_down_[machine] != down) num_machines_down_ += down ? 1 : -1;
+  if (machine_down_[machine] != down) {
+    num_machines_down_ += down ? 1 : -1;
+    // The machine's free GPUs enter/leave the effective free pool with it.
+    const double free_speed =
+        topo_.machine_speed(machine) *
+        static_cast<double>(free_on_machine_[machine].size());
+    free_speed_total_ += down ? -free_speed : free_speed;
+  }
   machine_down_[machine] = down;
 }
 

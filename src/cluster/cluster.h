@@ -50,6 +50,17 @@ class Cluster {
   /// All currently unallocated GPUs, in ascending GPU-id order.
   std::vector<GpuId> FreeGpus() const;
 
+  /// Free GPUs ordered fastest generation first (machines by descending
+  /// speed, ties ascending machine id; ascending GPU id within a machine).
+  /// With uniform speeds this equals FreeGpus(). Policies take fastest-first
+  /// from this view without scanning speeds themselves.
+  std::vector<GpuId> FreeGpusBySpeed() const;
+
+  /// Sum of generation speeds over the free pool (effective free capacity
+  /// in K80-equivalent GPUs); maintained incrementally, O(1). Machines that
+  /// are down contribute nothing, matching FreeGpus().
+  double FreeEffectiveGpus() const { return free_speed_total_; }
+
   /// Free GPU count per machine; index = MachineId. This is the resource
   /// vector R-> the ARBITER offers in auctions (one dimension per machine).
   std::vector<int> FreeGpusPerMachine() const;
@@ -110,8 +121,13 @@ class Cluster {
 
   /// Free GPUs per machine, each list sorted ascending. Machine GPU ids are
   /// contiguous, so concatenating the lists in machine order yields the
-  /// global ascending free list.
+  /// global ascending free list; concatenating in machines_by_speed order
+  /// yields the fastest-first list.
   std::vector<std::vector<GpuId>> free_on_machine_;
+
+  /// Sum of generation speeds over free GPUs on up machines; adjusted by
+  /// every free-list mutation and by SetMachineDown.
+  double free_speed_total_ = 0.0;
 
   /// (expiry, gpu) for every leased GPU; begin() is the earliest expiry.
   std::set<std::pair<Time, GpuId>> expiries_;

@@ -1,10 +1,108 @@
 #include "cluster/topology.h"
 
+#include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
 
 namespace themis {
+
+const std::vector<GpuGeneration>& KnownGpuGenerations() {
+  // Relative training throughput against the K80 baseline, rounded to the
+  // coarse ratios the scenario axis needs (not a precise device model).
+  static const std::vector<GpuGeneration> kTable = {
+      {"K80", 1.0}, {"M60", 1.3}, {"P100", 2.0}, {"V100", 3.0}, {"A100", 6.0},
+  };
+  return kTable;
+}
+
+const GpuGeneration& GpuGenerationByName(const std::string& name) {
+  for (const GpuGeneration& gen : KnownGpuGenerations())
+    if (gen.name == name) return gen;
+  std::string known;
+  for (const GpuGeneration& gen : KnownGpuGenerations()) {
+    if (!known.empty()) known += ", ";
+    known += gen.name;
+  }
+  throw std::invalid_argument("unknown GPU generation \"" + name +
+                              "\" (known generations: " + known + ")");
+}
+
+std::vector<GenerationShare> ParseGenerationMix(const std::string& spec) {
+  std::vector<GenerationShare> mix;
+  double total = 0.0;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string entry = spec.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    const std::size_t colon = entry.find(':');
+    if (entry.empty() || colon == std::string::npos || colon == 0 ||
+        colon + 1 == entry.size())
+      throw std::invalid_argument(
+          "generation mix entry \"" + entry +
+          "\" is not NAME:FRACTION (e.g. K80:0.25,V100:0.5,A100:0.25)");
+    GenerationShare share;
+    share.generation = GpuGenerationByName(entry.substr(0, colon));
+    std::size_t parsed = 0;
+    const std::string frac = entry.substr(colon + 1);
+    try {
+      share.fraction = std::stod(frac, &parsed);
+    } catch (const std::exception&) {
+      parsed = 0;
+    }
+    if (parsed != frac.size() || !(share.fraction > 0.0) ||
+        share.fraction > 1.0)
+      throw std::invalid_argument("generation mix fraction \"" + frac +
+                                  "\" must be a number in (0, 1]");
+    total += share.fraction;
+    mix.push_back(std::move(share));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (mix.empty())
+    throw std::invalid_argument("generation mix is empty");
+  if (std::abs(total - 1.0) > 1e-6)
+    throw std::invalid_argument(
+        "generation mix fractions sum to " + std::to_string(total) +
+        ", expected 1");
+  return mix;
+}
+
+void ApplyGenerationMix(ClusterSpec& spec,
+                        const std::vector<GenerationShare>& mix) {
+  if (mix.empty())
+    throw std::invalid_argument("ApplyGenerationMix: empty mix");
+  const int total = spec.TotalMachines();
+  // Cumulative-fraction boundaries; the last share absorbs rounding so every
+  // machine is assigned exactly once.
+  std::vector<int> boundary(mix.size());
+  double cum = 0.0;
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    cum += mix[i].fraction;
+    boundary[i] = i + 1 == mix.size()
+                      ? total
+                      : static_cast<int>(std::lround(cum * total));
+    // A share that rounds to zero machines would silently vanish from the
+    // cluster the caller asked for — fail loudly instead (the mix needs a
+    // bigger cluster or coarser fractions).
+    if (boundary[i] <= (i == 0 ? 0 : boundary[i - 1]))
+      throw std::invalid_argument(
+          "generation mix: share " + mix[i].generation.name + ":" +
+          std::to_string(mix[i].fraction) + " rounds to zero of the " +
+          std::to_string(total) + " machines");
+  }
+  int index = 0;
+  std::size_t share = 0;
+  for (RackSpec& rack : spec.racks) {
+    for (MachineSpec& machine : rack.machines) {
+      while (share + 1 < mix.size() && index >= boundary[share]) ++share;
+      machine.generation = mix[share].generation;
+      ++index;
+    }
+  }
+}
 
 const char* ToString(LocalityLevel level) {
   switch (level) {
@@ -29,6 +127,14 @@ int ClusterSpec::TotalMachines() const {
   return total;
 }
 
+double ClusterSpec::TotalEffectiveGpus() const {
+  double total = 0.0;
+  for (const auto& rack : racks)
+    for (const auto& m : rack.machines)
+      total += static_cast<double>(m.num_gpus) * m.generation.speed;
+  return total;
+}
+
 ClusterSpec ClusterSpec::Simulation256() {
   // 4 racks; each rack hosts 12x 4-GPU machines (NVLink pairs), 6x 2-GPU
   // machines and 4x 1-GPU machines: 4 * (48 + 12 + 4) = 256 GPUs.
@@ -40,6 +146,19 @@ ClusterSpec ClusterSpec::Simulation256() {
     for (int i = 0; i < 4; ++i) rack.machines.push_back({1, 1});
     spec.racks.push_back(std::move(rack));
   }
+  return spec;
+}
+
+ClusterSpec ClusterSpec::Simulation256Mixed() {
+  // 25/50/25 K80 / V100 / A100 by rack: rack 0 K80, racks 1-2 V100,
+  // rack 3 A100 — the generation-mix axis over the Sec. 8.1 shape.
+  ClusterSpec spec = Simulation256();
+  const GpuGeneration* by_rack[] = {
+      &GpuGenerationByName("K80"), &GpuGenerationByName("V100"),
+      &GpuGenerationByName("V100"), &GpuGenerationByName("A100")};
+  for (std::size_t r = 0; r < spec.racks.size(); ++r)
+    for (MachineSpec& m : spec.racks[r].machines)
+      m.generation = *by_rack[r % 4];
   return spec;
 }
 
@@ -64,6 +183,18 @@ ClusterSpec ClusterSpec::Testbed50() {
   return spec;
 }
 
+ClusterSpec ClusterSpec::Testbed50Mixed() {
+  // The paper's actual Azure instance generations: NC-series (the 4-GPU
+  // boxes) carry K80s, NV-series (the 2-/1-GPU boxes) carry M60s.
+  ClusterSpec spec = Testbed50();
+  const GpuGeneration& k80 = GpuGenerationByName("K80");
+  const GpuGeneration& m60 = GpuGenerationByName("M60");
+  for (RackSpec& rack : spec.racks)
+    for (MachineSpec& m : rack.machines)
+      m.generation = m.num_gpus >= 4 ? k80 : m60;
+  return spec;
+}
+
 ClusterSpec ClusterSpec::Uniform(int racks, int machines_per_rack,
                                  int gpus_per_machine, int gpus_per_slot) {
   ClusterSpec spec;
@@ -85,8 +216,13 @@ Topology::Topology(ClusterSpec spec) : spec_(std::move(spec)) {
         throw std::invalid_argument("machine with non-positive GPU count");
       if (m.gpus_per_slot <= 0 || m.num_gpus % m.gpus_per_slot != 0)
         throw std::invalid_argument("num_gpus must be a multiple of gpus_per_slot");
+      if (!(m.generation.speed > 0.0) || !std::isfinite(m.generation.speed))
+        throw std::invalid_argument("GPU generation \"" + m.generation.name +
+                                    "\" has non-positive speed");
       machine_racks_.push_back(r);
       machine_gpu_counts_.push_back(m.num_gpus);
+      machine_generations_.push_back(m.generation);
+      machine_speeds_.push_back(m.generation.speed);
       std::vector<GpuId> ids;
       for (int g = 0; g < m.num_gpus; ++g) {
         GpuCoord coord;
@@ -103,6 +239,36 @@ Topology::Topology(ClusterSpec spec) : spec_(std::move(spec)) {
       ++next_machine;
     }
   }
+
+  uniform_speed_ = true;
+  max_speed_ = machine_speeds_.empty() ? 1.0 : machine_speeds_.front();
+  for (double s : machine_speeds_) {
+    if (s != machine_speeds_.front()) uniform_speed_ = false;
+    max_speed_ = std::max(max_speed_, s);
+  }
+  machines_by_speed_.resize(machine_speeds_.size());
+  std::iota(machines_by_speed_.begin(), machines_by_speed_.end(), 0);
+  std::stable_sort(machines_by_speed_.begin(), machines_by_speed_.end(),
+                   [this](MachineId a, MachineId b) {
+                     return machine_speeds_[a] > machine_speeds_[b];
+                   });
+}
+
+double Topology::SpeedSum(const std::vector<GpuId>& gpus) const {
+  if (uniform_speed_)
+    return static_cast<double>(gpus.size()) *
+           (machine_speeds_.empty() ? 1.0 : machine_speeds_.front());
+  double sum = 0.0;
+  for (GpuId g : gpus) sum += gpu_speed(g);
+  return sum;
+}
+
+double Topology::MinSpeed(const std::vector<GpuId>& gpus) const {
+  if (gpus.empty()) return 1.0;
+  if (uniform_speed_) return machine_speeds_.empty() ? 1.0 : machine_speeds_.front();
+  double min = gpu_speed(gpus.front());
+  for (GpuId g : gpus) min = std::min(min, gpu_speed(g));
+  return min;
 }
 
 LocalityLevel Topology::SpanLevel(const std::vector<GpuId>& gpus) const {
@@ -127,6 +293,9 @@ std::string Topology::Describe() const {
   std::ostringstream os;
   os << num_racks() << " racks, " << num_machines() << " machines, "
      << num_gpus() << " GPUs";
+  if (!uniform_speed_)
+    os << " (" << spec_.TotalEffectiveGpus() << " effective, mixed"
+       << " generations)";
   return os.str();
 }
 

@@ -99,10 +99,14 @@ PlacementHint LeastLoadedPlacement() {
     double best_ratio = 0.0;
     int biggest = 0;
     for (int s = 0; s < static_cast<int>(loads.size()); ++s) {
-      if (loads[s].capacity_gpus > loads[biggest].capacity_gpus) biggest = s;
+      if (loads[s].capacity_effective_gpus >
+          loads[biggest].capacity_effective_gpus)
+        biggest = s;
       if (loads[s].capacity_gpus < gang) continue;
+      // Effective capacity in the denominator: a shard of V100s takes 3x
+      // the demand of an equal-sized K80 shard before looking as loaded.
       const double ratio = static_cast<double>(loads[s].routed_demand) /
-                           static_cast<double>(loads[s].capacity_gpus);
+                           loads[s].capacity_effective_gpus;
       if (best < 0 || ratio < best_ratio) {
         best = s;
         best_ratio = ratio;
@@ -135,7 +139,10 @@ FederationRouting ShardedArbiter::Route(
   routing.global_index.resize(n);
 
   std::vector<ShardLoadView> loads(n);
-  for (int s = 0; s < n; ++s) loads[s].capacity_gpus = shards_[s].num_gpus;
+  for (int s = 0; s < n; ++s) {
+    loads[s].capacity_gpus = shards_[s].num_gpus;
+    loads[s].capacity_effective_gpus = shards_[s].spec.TotalEffectiveGpus();
+  }
 
   for (std::size_t i = 0; i < apps.size(); ++i) {
     const int s = hint_(apps[i], loads);

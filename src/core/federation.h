@@ -45,6 +45,10 @@ std::vector<FederationShard> PartitionCluster(const ClusterSpec& global,
 /// What a placement hint sees about each shard when routing one app.
 struct ShardLoadView {
   int capacity_gpus = 0;
+  /// Speed-weighted capacity (sum of generation speed over the shard's
+  /// GPUs): the aggregate shard speed hints route by. Equals capacity_gpus
+  /// on speed-1.0 clusters.
+  double capacity_effective_gpus = 0.0;
   /// Sum of max-parallelism GPU demand of apps routed so far.
   long long routed_demand = 0;
   int routed_apps = 0;
@@ -57,8 +61,11 @@ using PlacementHint =
     std::function<int(const AppSpec&, const std::vector<ShardLoadView>&)>;
 
 /// Default hint: the feasible shard (capacity fits the app's largest task
-/// gang) with the lowest routed_demand / capacity ratio; ties go to the
-/// lower index. Falls back to the largest shard when none is feasible.
+/// gang) with the lowest routed_demand / effective-capacity ratio — a shard
+/// of faster machines absorbs proportionally more demand; ties go to the
+/// lower index. Falls back to the largest shard when none is feasible. On
+/// speed-1.0 clusters effective capacity equals the GPU count and routing
+/// is unchanged.
 PlacementHint LeastLoadedPlacement();
 
 /// Round-robin by routed app count (min routed_apps, ties to lower index).

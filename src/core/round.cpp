@@ -14,7 +14,16 @@ ResourceOffer MakeOffer(std::uint64_t round_id, Time now, Time lease_duration,
   offer.lease_duration = lease_duration;
   offer.gpus = cluster.FreeGpus();
   offer.free_per_machine = cluster.FreeGpusPerMachine();
+  offer.machine_speeds = cluster.topology().machine_speeds();
   return offer;
+}
+
+double ResourceOffer::TotalEffectiveGpus() const {
+  if (machine_speeds.empty()) return static_cast<double>(TotalGpus());
+  double total = 0.0;
+  for (std::size_t m = 0; m < free_per_machine.size(); ++m)
+    total += static_cast<double>(free_per_machine[m]) * machine_speeds[m];
+  return total;
 }
 
 int GrantSet::TotalGpus() const {
@@ -48,6 +57,7 @@ FreePool::FreePool(const std::vector<GpuId>& gpus, const Topology& topo)
     prev_[g] = last;
     in_[g] = 1;
     ++per_machine_[topo.gpu(g).machine];
+    speed_total_ += topo.gpu_speed(g);
     last = g;
   }
   next_[last] = sentinel_;
@@ -65,6 +75,7 @@ void FreePool::Remove(GpuId g) {
   if (next_[sentinel_] == sentinel_) next_[sentinel_] = kNoGpu;
   in_[g] = 0;
   --per_machine_[topo_->gpu(g).machine];
+  speed_total_ -= topo_->gpu_speed(g);
   --size_;
 }
 
@@ -81,6 +92,25 @@ std::vector<GpuId> FreePool::FirstN(int n) const {
   for (GpuId g = First(); g != kNoGpu && static_cast<int>(out.size()) < n;
        g = Next(g))
     out.push_back(g);
+  return out;
+}
+
+std::vector<GpuId> FreePool::FirstNFastest(int n) const {
+  // Uniform speeds: ascending id order is already fastest-first, and the
+  // intrusive list walk is cheaper than the per-machine scan.
+  if (topo_ == nullptr || topo_->uniform_speed()) return FirstN(n);
+  std::vector<GpuId> out;
+  out.reserve(static_cast<std::size_t>(n < size_ ? n : size_));
+  for (MachineId m : topo_->machines_by_speed()) {
+    if (static_cast<int>(out.size()) >= n) break;
+    if (per_machine_[m] == 0) continue;
+    for (GpuId g : topo_->machine_gpus(m)) {
+      if (Contains(g)) {
+        out.push_back(g);
+        if (static_cast<int>(out.size()) == n) break;
+      }
+    }
+  }
   return out;
 }
 

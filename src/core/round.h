@@ -30,7 +30,10 @@ class SchedulerContext;
 /// Step 1-2 of the round: the ARBITER's published free pool. `gpus` is the
 /// complete current free pool in ascending id order and `free_per_machine`
 /// is the matching auction resource vector R-> (index = MachineId), so a
-/// policy never recounts the pool.
+/// policy never recounts the pool. `machine_speeds` prices the vector:
+/// machine m offers free_per_machine[m] GPUs of relative generation speed
+/// machine_speeds[m], so bidders can value faster machines without topology
+/// access — offers stay plain routable data across federation shards.
 struct ResourceOffer {
   /// Monotonic per-ARBITER round number (the simulator uses its pass count).
   std::uint64_t round_id = 0;
@@ -40,8 +43,12 @@ struct ResourceOffer {
   Time lease_duration = 0.0;
   std::vector<GpuId> gpus;
   std::vector<int> free_per_machine;
+  /// Relative generation speed per machine, aligned with free_per_machine.
+  std::vector<double> machine_speeds;
 
   int TotalGpus() const { return static_cast<int>(gpus.size()); }
+  /// Offered capacity in effective (speed-weighted) GPUs.
+  double TotalEffectiveGpus() const;
 };
 
 /// Snapshot the cluster's free pool into an offer.
@@ -112,6 +119,10 @@ class FreePool {
   /// Free count per machine for the GPUs still in the pool.
   const std::vector<int>& per_machine() const { return per_machine_; }
 
+  /// Sum of generation speeds over the pooled GPUs (effective capacity),
+  /// maintained on removal. Equals size() on speed-1.0 clusters.
+  double speed_total() const { return speed_total_; }
+
   /// First pooled GPU (ascending), or kNoGpu when empty.
   GpuId First() const { return next_[sentinel_]; }
   /// Pooled GPU after `g` (ascending), or kNoGpu when `g` is the last.
@@ -127,6 +138,13 @@ class FreePool {
   /// The first min(n, size()) pooled GPUs, ascending.
   std::vector<GpuId> FirstN(int n) const;
 
+  /// The min(n, size()) fastest pooled GPUs: machines by descending
+  /// generation speed (ties ascending machine id), ascending GPU id within
+  /// a machine. On a uniform-speed topology this is exactly FirstN — the
+  /// deterministic speed-aware pick the greedy baselines take their gangs
+  /// from.
+  std::vector<GpuId> FirstNFastest(int n) const;
+
  private:
   GpuId sentinel_ = 0;           // == num_gpus; list head/tail anchor
   std::vector<GpuId> next_;      // size num_gpus + 1; next_[sentinel_] = head
@@ -135,6 +153,7 @@ class FreePool {
   std::vector<int> per_machine_;
   const Topology* topo_ = nullptr;
   int size_ = 0;
+  double speed_total_ = 0.0;
 };
 
 /// A round scheduler — the bottom level of the two-level architecture

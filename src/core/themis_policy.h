@@ -16,6 +16,14 @@
 // The returned GrantSet carries the round's auction diagnostics (offered /
 // granted / leftover counts, participant count); applying the leases is the
 // caller's job via ApplyGrants.
+//
+// Heterogeneous generations: the auction prices speed-weighted shares
+// without any PA change, because every valuation is a rho and rho is built
+// from speed-aware quantities — T_SH uses EffectiveJobRate (G * S *
+// min-gang-speed) and T_ID assumes the cluster's fastest generation — so a
+// bundle of A100 machines values higher than the same GPU count of K80s,
+// and the hidden payments price that difference. The offer's
+// machine_speeds vector carries the same information to external bidders.
 #pragma once
 
 #include "auction/partial_allocation.h"

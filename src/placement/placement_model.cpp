@@ -35,16 +35,22 @@ double PlacementScore(const std::vector<GpuId>& gpus, const Topology& topo) {
 double EffectiveRate(const ModelProfile& model, const std::vector<GpuId>& gpus,
                      const Topology& topo) {
   if (gpus.empty()) return 0.0;
-  return static_cast<double>(gpus.size()) * Slowdown(model, gpus, topo);
+  // Gangs are synchronous SGD: every iteration barriers on the slowest
+  // worker, so a mixed-generation gang runs at its minimum speed — one slow
+  // straggler GPU drags the whole gang.
+  return static_cast<double>(gpus.size()) * Slowdown(model, gpus, topo) *
+         topo.MinSpeed(gpus);
 }
 
 namespace {
 
 // Free GPUs grouped by machine, machines ordered by descending free count so
-// that whole-machine fills come first, with rack as a secondary grouping key.
+// that whole-machine fills come first, with rack as a secondary grouping key
+// and generation speed preferring faster machines at equal locality.
 struct MachineGroup {
   MachineId machine;
   RackId rack;
+  double speed;
   std::vector<GpuId> gpus;  // ascending; ascending slot order by construction
 };
 
@@ -56,6 +62,7 @@ std::vector<MachineGroup> GroupByMachine(const std::vector<GpuId>& free,
     auto& grp = by_machine[c.machine];
     grp.machine = c.machine;
     grp.rack = c.rack;
+    grp.speed = topo.machine_speed(c.machine);
     grp.gpus.push_back(g);
   }
   std::vector<MachineGroup> out;
@@ -74,11 +81,15 @@ std::vector<GpuId> PickBestPlaced(int count, const std::vector<GpuId>& free,
   auto groups = GroupByMachine(free, topo);
 
   // First preference: a single machine that fits the whole request; among
-  // those, the *tightest* fit to avoid fragmenting big machines.
+  // those, the fastest generation first (a whole gang on one machine runs at
+  // that machine's speed), then the *tightest* fit to avoid fragmenting big
+  // machines. With uniform speeds this is the original tightest-fit rule.
   const MachineGroup* best_fit = nullptr;
   for (const auto& g : groups) {
     if (static_cast<int>(g.gpus.size()) >= count) {
-      if (!best_fit || g.gpus.size() < best_fit->gpus.size()) best_fit = &g;
+      if (!best_fit || g.speed > best_fit->speed ||
+          (g.speed == best_fit->speed && g.gpus.size() < best_fit->gpus.size()))
+        best_fit = &g;
     }
   }
   if (best_fit) {
@@ -103,6 +114,9 @@ std::vector<GpuId> PickBestPlaced(int count, const std::vector<GpuId>& free,
                      const bool ar = a.rack == best_rack;
                      const bool br = b.rack == best_rack;
                      if (ar != br) return ar;  // preferred rack first
+                     // Faster machines first at equal locality (no-op on
+                     // uniform-speed clusters).
+                     if (a.speed != b.speed) return a.speed > b.speed;
                      return a.gpus.size() > b.gpus.size();
                    });
   for (const auto& g : groups) {
@@ -137,6 +151,9 @@ std::vector<GpuId> PickBestPlacedNear(int count, const std::vector<GpuId>& free,
                      const bool ar = anchor_racks.count(a.rack) > 0;
                      const bool br = anchor_racks.count(b.rack) > 0;
                      if (ar != br) return ar;  // then same rack
+                     // Locality beats speed (the anchor's generation paces
+                     // the gang anyway); at equal locality prefer faster.
+                     if (a.speed != b.speed) return a.speed > b.speed;
                      return a.gpus.size() > b.gpus.size();
                    });
   std::vector<GpuId> picked;

@@ -29,7 +29,10 @@ double SlowdownAtLevel(const ModelProfile& model, LocalityLevel level);
 double PlacementScore(const std::vector<GpuId>& gpus, const Topology& topo);
 
 /// Effective progress rate (serial GPU-minutes consumed per minute) of a job
-/// running `gpus.size()` GPUs with the given model: G * S.
+/// running `gpus.size()` GPUs with the given model:
+/// G * S * min(generation speed over the set). Synchronous SGD paces every
+/// iteration on the slowest worker, so a mixed-generation gang runs at its
+/// minimum speed; on speed-1.0 clusters this is the plain G * S.
 double EffectiveRate(const ModelProfile& model, const std::vector<GpuId>& gpus,
                      const Topology& topo);
 

@@ -52,6 +52,7 @@ GrantSet ISchedulerPolicy::Schedule(const std::vector<GpuId>& free_gpus,
   offer.lease_duration = ctx.lease_duration();
   offer.gpus = free_gpus;
   offer.free_per_machine = ctx.free_per_machine();  // pre-grant snapshot
+  offer.machine_speeds = ctx.topology().machine_speeds();
   GrantSet out = RunRound(offer, ctx);
   ApplyGrants(out, ctx.cluster());
   return out;

@@ -56,27 +56,73 @@ int IntKnob(const JsonValue& obj, const char* key, int fallback,
   return static_cast<int>(d);
 }
 
+/// Resolve one generation name from the scenario's generation table against
+/// the known-generation registry, failing with the loader's pointed error
+/// (which generation, where, and what would be accepted) instead of a bare
+/// exception — the unknown-keys-fatal contract applied to generation names.
+GpuGeneration GenerationFromJson(const JsonValue& v, const std::string& where) {
+  try {
+    return GpuGenerationByName(v.AsString());
+  } catch (const std::invalid_argument& e) {
+    Fail(where + ": " + e.what());
+  }
+}
+
+/// Apply the cluster object's "generations" table: a single name for the
+/// whole cluster, or an array with exactly one name per rack.
+void ApplyGenerations(const JsonValue& generations, ClusterSpec& spec) {
+  if (generations.is_array()) {
+    const std::size_t racks = spec.racks.size();
+    if (generations.items().size() != racks)
+      Fail("cluster.generations lists " +
+           std::to_string(generations.items().size()) +
+           " generations for " + std::to_string(racks) +
+           " racks (give one per rack, or a single name for the whole "
+           "cluster)");
+    for (std::size_t r = 0; r < racks; ++r) {
+      const GpuGeneration gen = GenerationFromJson(
+          generations.items()[r], "cluster.generations[" + std::to_string(r) +
+                                      "]");
+      for (MachineSpec& m : spec.racks[r].machines) m.generation = gen;
+    }
+    return;
+  }
+  const GpuGeneration gen =
+      GenerationFromJson(generations, "cluster.generations");
+  for (RackSpec& rack : spec.racks)
+    for (MachineSpec& m : rack.machines) m.generation = gen;
+}
+
 ClusterSpec ClusterFromJson(const JsonValue& v) {
   CheckKeys(v, "cluster",
             {"preset", "racks", "machines_per_rack", "gpus_per_machine",
-             "gpus_per_slot"});
+             "gpus_per_slot", "generations"});
+  ClusterSpec spec;
   if (const JsonValue* preset = v.Find("preset")) {
-    if (v.members().size() > 1)
+    // "generations" re-prices a preset's machines without changing its
+    // shape, so it is the one key allowed alongside "preset".
+    if (v.members().size() > (v.Find("generations") != nullptr ? 2u : 1u))
       Fail("cluster: \"preset\" cannot be combined with explicit "
            "dimensions");
     const std::string& name = preset->AsString();
-    if (name == "sim256") return ClusterSpec::Simulation256();
-    if (name == "testbed50") return ClusterSpec::Testbed50();
-    Fail("unknown cluster preset: " + name);
+    if (name == "sim256") spec = ClusterSpec::Simulation256();
+    else if (name == "sim256-mixed") spec = ClusterSpec::Simulation256Mixed();
+    else if (name == "testbed50") spec = ClusterSpec::Testbed50();
+    else if (name == "testbed50-mixed") spec = ClusterSpec::Testbed50Mixed();
+    else Fail("unknown cluster preset: " + name);
+  } else {
+    const int racks = IntKnob(v, "racks", 1, "cluster");
+    const int machines = IntKnob(v, "machines_per_rack", 1, "cluster");
+    const int gpus = IntKnob(v, "gpus_per_machine", 4, "cluster");
+    const int slot = IntKnob(v, "gpus_per_slot", gpus % 2 == 0 ? 2 : 1,
+                             "cluster");
+    if (racks <= 0 || machines <= 0 || gpus <= 0 || slot <= 0)
+      Fail("cluster dimensions must be positive");
+    spec = ClusterSpec::Uniform(racks, machines, gpus, slot);
   }
-  const int racks = IntKnob(v, "racks", 1, "cluster");
-  const int machines = IntKnob(v, "machines_per_rack", 1, "cluster");
-  const int gpus = IntKnob(v, "gpus_per_machine", 4, "cluster");
-  const int slot = IntKnob(v, "gpus_per_slot", gpus % 2 == 0 ? 2 : 1,
-                           "cluster");
-  if (racks <= 0 || machines <= 0 || gpus <= 0 || slot <= 0)
-    Fail("cluster dimensions must be positive");
-  return ClusterSpec::Uniform(racks, machines, gpus, slot);
+  if (const JsonValue* generations = v.Find("generations"))
+    ApplyGenerations(*generations, spec);
+  return spec;
 }
 
 void ApplyTrace(const JsonValue& v, TraceConfig& trace) {

@@ -19,7 +19,13 @@
 //   }
 //
 // "defaults" (optional) is merged under every scenario. "cluster" accepts
-// either {"preset": "sim256" | "testbed50"} or the uniform shape above.
+// either {"preset": "sim256" | "sim256-mixed" | "testbed50" |
+// "testbed50-mixed"} or the uniform shape above, plus an optional
+// "generations" table — a single GPU-generation name for the whole cluster
+// or an array naming one generation per rack (resolved against the built-in
+// table, see cluster/topology.h; unknown names are fatal, like unknown
+// keys). "generations" is the one key that composes with "preset": it
+// re-prices the preset's machines without changing its shape.
 // A top-level "base_seed" gives every scenario a position-derived seed
 // (DeriveScenarioSeed) unless a seed is pinned in "defaults" or the
 // scenario itself — grids stay reproducible without hand-numbering seeds.

@@ -50,7 +50,12 @@ Simulator::Simulator(ClusterSpec cluster_spec, std::vector<AppSpec> specs,
     auto app = std::make_unique<AppState>();
     app->id = next_app++;
     app->spec = std::move(spec);
-    app->ideal_time = std::max(1e-9, app->spec.IdealRunningTime());
+    // T_ID assumes the app ran alone with ideal placement — on a
+    // heterogeneous cluster that means the fastest generation, so rho
+    // compares effective GPU-hours, not raw counts. Division by 1.0 on
+    // uniform-speed clusters leaves the classic T_ID bit-identical.
+    app->ideal_time = std::max(
+        1e-9, app->spec.IdealRunningTime() / cluster_.topology().max_speed());
     app->tuner = MakeAppScheduler(app->spec);
     JobId next_job = 0;
     for (const JobSpec& js : app->spec.jobs) {
@@ -104,11 +109,16 @@ void Simulator::AdvanceTo(Time t) {
     for (JobState& job : app->jobs) {
       if (job.gpus.empty()) continue;
       // Held GPUs consume GPU-time for the whole interval (they are leased),
-      // even while the job restarts from a checkpoint.
+      // even while the job restarts from a checkpoint. Attained service is
+      // *effective* (speed-weighted) GPU-minutes so Tiresias' LAS ordering
+      // prices an A100-minute above a K80-minute; the GPU-time metric stays
+      // raw occupancy. Both coincide on speed-1.0 clusters.
       const double held_dt = t - last_advance_;
       const Work gpu_minutes = held_dt * static_cast<double>(job.gpus.size());
-      job.attained_service += gpu_minutes;
-      app->attained_service += gpu_minutes;
+      const Work effective_minutes =
+          held_dt * cluster_.topology().SpeedSum(job.gpus);
+      job.attained_service += effective_minutes;
+      app->attained_service += effective_minutes;
       metrics_.RecordGpuTime(gpu_minutes);
       if (!job.Running()) continue;
       const Time seg_start = std::max(last_advance_, job.resume_at);
@@ -236,6 +246,7 @@ void Simulator::SchedulingPass(Time t) {
     offer.time = t;
     offer.lease_duration = config_.lease_minutes;
     offer.free_per_machine = cluster_.FreeGpusPerMachine();
+    offer.machine_speeds = cluster_.topology().machine_speeds();
     offer.gpus = std::move(free);
     SchedulerContext ctx(offer, &cluster_, &estimator_, &active_apps_, &rng_);
     const GrantSet grants = scheduler_->RunRound(offer, ctx);

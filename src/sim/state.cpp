@@ -41,6 +41,12 @@ int AppState::GpusHeld() const {
   return total;
 }
 
+double AppState::EffectiveGpusHeld(const Topology& topo) const {
+  double total = 0.0;
+  for (const JobState& j : jobs) total += topo.SpeedSum(j.gpus);
+  return total;
+}
+
 int AppState::CapDemand() const {
   int total = 0;
   for (const JobState& j : jobs)

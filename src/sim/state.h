@@ -72,6 +72,10 @@ struct AppState {
   /// Jobs still training (alive, not finished).
   std::vector<int> ActiveJobs() const;
   int GpusHeld() const;
+  /// Speed-weighted GPU holdings (sum of generation speeds over every held
+  /// GPU) — the app's share in effective GPUs. Equals GpusHeld() on
+  /// speed-1.0 clusters.
+  double EffectiveGpusHeld(const Topology& topo) const;
   /// Whole-gang GPU demand still unmet across active jobs.
   int UnmetDemand() const;
   /// Capped GPU demand: sum over alive jobs of min(parallelism_cap,

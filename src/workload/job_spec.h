@@ -74,8 +74,9 @@ struct AppSpec {
   int MaxJobParallelism() const;
 };
 
-/// Progress rate of `job` on `gpus`: |gpus| * S, or 0 when the set spans a
-/// topology boundary beyond the job's placement constraint.
+/// Progress rate of `job` on `gpus`: |gpus| * S * min-generation-speed
+/// (the gang paces on its slowest GPU), or 0 when the set spans a topology
+/// boundary beyond the job's placement constraint.
 double EffectiveJobRate(const JobSpec& job, const std::vector<GpuId>& gpus,
                         const Topology& topo);
 

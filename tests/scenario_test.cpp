@@ -144,11 +144,69 @@ TEST(Scenario, PresetClustersResolve) {
   const auto specs = LoadScenarios(R"({
     "scenarios": [
       {"name": "a", "cluster": {"preset": "sim256"}},
-      {"name": "b", "cluster": {"preset": "testbed50"}}
+      {"name": "b", "cluster": {"preset": "testbed50"}},
+      {"name": "c", "cluster": {"preset": "sim256-mixed"}},
+      {"name": "d", "cluster": {"preset": "testbed50-mixed"}}
     ]
   })");
   EXPECT_EQ(specs[0].config.cluster.TotalGpus(), 256);
   EXPECT_EQ(specs[1].config.cluster.TotalGpus(), 50);
+  EXPECT_EQ(specs[2].config.cluster.TotalGpus(), 256);
+  EXPECT_GT(specs[2].config.cluster.TotalEffectiveGpus(), 256.0);
+  EXPECT_EQ(specs[3].config.cluster.TotalGpus(), 50);
+  EXPECT_GT(specs[3].config.cluster.TotalEffectiveGpus(), 50.0);
+}
+
+TEST(Scenario, GenerationTableAppliesPerRackOrWholeCluster) {
+  const auto specs = LoadScenarios(R"({
+    "scenarios": [
+      {"name": "whole", "cluster": {"racks": 2, "machines_per_rack": 2,
+        "gpus_per_machine": 2, "generations": "V100"}},
+      {"name": "per-rack", "cluster": {"racks": 2, "machines_per_rack": 2,
+        "gpus_per_machine": 2, "generations": ["K80", "A100"]}},
+      {"name": "preset", "cluster": {"preset": "sim256",
+        "generations": ["K80", "V100", "V100", "A100"]}}
+    ]
+  })");
+  for (const RackSpec& rack : specs[0].config.cluster.racks)
+    for (const MachineSpec& m : rack.machines)
+      EXPECT_EQ(m.generation.name, "V100");
+  EXPECT_EQ(specs[1].config.cluster.racks[0].machines[0].generation.name,
+            "K80");
+  EXPECT_EQ(specs[1].config.cluster.racks[1].machines[1].generation.name,
+            "A100");
+  EXPECT_DOUBLE_EQ(specs[1].config.cluster.TotalEffectiveGpus(),
+                   4.0 * 1.0 + 4.0 * 6.0);
+  // "generations" composes with "preset" (it re-prices, not reshapes).
+  EXPECT_EQ(specs[2].config.cluster.TotalGpus(), 256);
+  EXPECT_EQ(specs[2].config.cluster.racks[3].machines[0].generation.name,
+            "A100");
+}
+
+TEST(Scenario, UnknownGenerationFailsWithPointedError) {
+  try {
+    LoadScenarios(R"({"scenarios": [{"name": "a",
+      "cluster": {"racks": 2, "machines_per_rack": 1,
+                  "generations": ["K80", "H100"]}}]})");
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("generations[1]"), std::string::npos) << what;
+    EXPECT_NE(what.find("H100"), std::string::npos) << what;
+    EXPECT_NE(what.find("known generations"), std::string::npos) << what;
+  }
+}
+
+TEST(Scenario, GenerationTableLengthMustMatchRacks) {
+  EXPECT_THROW(LoadScenarios(R"({"scenarios": [{"name": "a",
+      "cluster": {"racks": 3, "machines_per_rack": 1,
+                  "generations": ["K80", "V100"]}}]})"),
+               std::runtime_error);
+  // A single unknown name (the whole-cluster form) is just as fatal.
+  EXPECT_THROW(LoadScenarios(R"({"scenarios": [{"name": "a",
+      "cluster": {"racks": 1, "machines_per_rack": 1,
+                  "generations": "TPU"}}]})"),
+               std::runtime_error);
 }
 
 TEST(Scenario, UnknownKeysFailLoudly) {
