@@ -6,12 +6,18 @@
 //              [--apps N] [--seed S] [--contention C] [--lease MIN]
 //              [--knob F] [--theta T] [--mtbf MIN] [--sensitive FRAC]
 //              [--trace-out FILE] [--trace-in FILE] [--cdf]
+//              [--stream-trace FILE] [--bounded-metrics]
 //              [--shards N] [--threads N]
 //              [--sweep SCENARIOS.json] [--csv FILE]
 //
 // Generates (or loads) a trace, runs one simulation, prints the Sec. 8.1
 // metric summary, and optionally archives the trace as CSV for later
 // replay (`--trace-out` then `--trace-in` reproduces results exactly).
+// With --stream-trace, the CSV is *streamed*: apps are injected as the
+// reader advances and retired as they finish, so arbitrarily long
+// (million-job) traces replay in memory bounded by peak concurrency —
+// add --bounded-metrics to also cap the metric-side memory (reservoir
+// samples + streaming quantiles instead of per-app vectors).
 // With --shards N, the cluster's machines are partitioned across N federated
 // ARBITER shards (core/federation.h): apps are routed by the least-loaded
 // placement hint, the shards simulate in parallel (--threads), the merged
@@ -52,6 +58,7 @@ using namespace themis;
                "          [--knob F] [--theta T] [--mtbf MIN]\n"
                "          [--sensitive FRAC] [--trace-out FILE]\n"
                "          [--trace-in FILE] [--cdf]\n"
+               "          [--stream-trace FILE] [--bounded-metrics]\n"
                "          [--shards N] [--threads N]\n"
                "          [--sweep SCENARIOS.json] [--csv FILE]\n",
                argv0);
@@ -163,7 +170,7 @@ int main(int argc, char** argv) {
   ExperimentConfig config;
   config.cluster = ClusterSpec::Simulation256();
   config.trace.num_apps = 60;
-  std::string trace_in, trace_out, sweep_file, csv_file;
+  std::string trace_in, trace_out, stream_trace, sweep_file, csv_file;
   std::vector<GenerationShare> generations;
   int sweep_threads = 0;
   int shards = 0;
@@ -212,6 +219,8 @@ int main(int argc, char** argv) {
       config.trace.frac_network_intensive = std::atof(next().c_str());
     else if (arg == "--trace-in") trace_in = next();
     else if (arg == "--trace-out") trace_out = next();
+    else if (arg == "--stream-trace") stream_trace = next();
+    else if (arg == "--bounded-metrics") config.sim.metrics.bounded_memory = true;
     else if (arg == "--cdf") print_cdf = true;
     else if (arg == "--sweep") sweep_file = next();
     else if (arg == "--csv") csv_file = next();
@@ -250,6 +259,40 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--threads only applies to --sweep or --shards runs\n");
     return 2;
+  }
+
+  if (!stream_trace.empty()) {
+    // Streamed replay fixes the workload and owns the app lifecycle, so the
+    // preload/archive/shard paths cannot compose with it.
+    if (!trace_in.empty() || !trace_out.empty() || shards != 0) {
+      std::fprintf(stderr,
+                   "--stream-trace cannot be combined with --trace-in, "
+                   "--trace-out, or --shards\n");
+      return 2;
+    }
+    ExperimentResult r;
+    try {
+      r = RunStreamingExperiment(
+          config, std::make_unique<StreamingCsvTraceReader>(stream_trace));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    std::printf("policy           : %s\n", r.policy_name.c_str());
+    std::printf("apps replayed    : %zu (%d unfinished, peak %zu live)\n",
+                r.total_apps, r.unfinished_apps, r.peak_live_apps);
+    std::printf("peak contention  : %.2f\n", r.peak_contention);
+    std::printf("max fairness     : %.2f\n", r.max_fairness);
+    std::printf("median fairness  : %.2f\n", r.median_fairness);
+    std::printf("Jain's index     : %.3f\n", r.jains_index);
+    std::printf("avg ACT          : %.1f min\n", r.avg_completion_time);
+    std::printf("GPU time         : %.0f GPU-min\n", r.gpu_time);
+    if (r.machine_failures > 0)
+      std::printf("machine failures : %d\n", r.machine_failures);
+    if (print_cdf)
+      std::printf("\nrho CDF (sampled):\n%s",
+                  FormatCdf(Cdf(r.rhos), 15).c_str());
+    return r.unfinished_apps == 0 ? 0 : 1;
   }
 
   std::vector<AppSpec> apps;

@@ -5,12 +5,42 @@
 
 namespace themis {
 
+MetricsCollector::MetricsCollector(const MetricsConfig& config)
+    : config_(config),
+      sample_(config.bounded_memory ? config.reservoir_capacity : 0,
+              config.seed) {}
+
 void MetricsCollector::RecordAppFinish(const AppRecord& record) {
-  apps_.push_back(record);
+  ++finished_apps_;
+  const double rho = record.Rho();
+  rho_range_.Add(rho);
+  rho_moments_.Add(rho);
+  rho_median_.Add(rho);
+  act_.Add(record.CompletionTime());
+  if (config_.bounded_memory) {
+    sample_.Add(record);
+  } else {
+    apps_.push_back(record);
+  }
 }
 
 void MetricsCollector::RecordAllocation(Time time, AppId app, int gpus) {
+  const std::size_t idx = allocation_seen_++;
+  if (idx % timeline_stride_ != 0) return;
   timeline_.push_back({time, app, gpus});
+  if (config_.timeline_capacity > 0 &&
+      timeline_.size() >= config_.timeline_capacity &&
+      config_.timeline_capacity > 1) {
+    // At capacity: drop every other retained sample and double the stride so
+    // coverage stays uniform over the whole run in fixed memory.
+    std::vector<AllocationSample> kept;
+    kept.reserve(timeline_.size() / 2 + 1);
+    for (std::size_t i = 0; i < timeline_.size(); i += 2) {
+      kept.push_back(timeline_[i]);
+    }
+    timeline_ = std::move(kept);
+    timeline_stride_ *= 2;
+  }
 }
 
 void MetricsCollector::RecordAuction(int /*participants*/, int offered_gpus,
@@ -23,34 +53,43 @@ void MetricsCollector::RecordAuction(int /*participants*/, int offered_gpus,
   }
 }
 
+const std::vector<AppRecord>& MetricsCollector::apps() const {
+  return config_.bounded_memory ? sample_.items() : apps_;
+}
+
 std::vector<double> MetricsCollector::Rhos() const {
+  const auto& records = apps();
   std::vector<double> out;
-  out.reserve(apps_.size());
-  for (const AppRecord& a : apps_) out.push_back(a.Rho());
+  out.reserve(records.size());
+  for (const AppRecord& a : records) out.push_back(a.Rho());
   return out;
 }
 
 std::vector<double> MetricsCollector::CompletionTimes() const {
+  const auto& records = apps();
   std::vector<double> out;
-  out.reserve(apps_.size());
-  for (const AppRecord& a : apps_) out.push_back(a.CompletionTime());
+  out.reserve(records.size());
+  for (const AppRecord& a : records) out.push_back(a.CompletionTime());
   return out;
 }
 
 std::vector<double> MetricsCollector::PlacementScores() const {
+  const auto& records = apps();
   std::vector<double> out;
-  out.reserve(apps_.size());
-  for (const AppRecord& a : apps_) out.push_back(a.mean_placement_score);
+  out.reserve(records.size());
+  for (const AppRecord& a : records) out.push_back(a.mean_placement_score);
   return out;
 }
 
 double MetricsCollector::MaxFairness() const {
+  if (config_.bounded_memory) return rho_range_.count() ? rho_range_.max() : 0.0;
   double worst = 0.0;
   for (const AppRecord& a : apps_) worst = std::max(worst, a.Rho());
   return worst;
 }
 
 double MetricsCollector::MinFairness() const {
+  if (config_.bounded_memory) return rho_range_.count() ? rho_range_.min() : 0.0;
   if (apps_.empty()) return 0.0;
   double best = apps_.front().Rho();
   for (const AppRecord& a : apps_) best = std::min(best, a.Rho());
@@ -58,16 +97,19 @@ double MetricsCollector::MinFairness() const {
 }
 
 double MetricsCollector::MedianFairness() const {
+  if (config_.bounded_memory) return rho_median_.Value();
   if (apps_.empty()) return 0.0;
   return Percentile(Rhos(), 50.0);
 }
 
 double MetricsCollector::JainsFairnessIndex() const {
+  if (config_.bounded_memory) return rho_moments_.JainsIndex();
   const auto rhos = Rhos();
   return JainsIndex(rhos);
 }
 
 double MetricsCollector::AverageCompletionTime() const {
+  if (config_.bounded_memory) return act_.mean();
   if (apps_.empty()) return 0.0;
   double sum = 0.0;
   for (const AppRecord& a : apps_) sum += a.CompletionTime();
@@ -81,7 +123,7 @@ double MetricsCollector::MeanLeftoverFraction() const {
 
 std::string MetricsCollector::SummaryString() const {
   std::ostringstream os;
-  os << "apps=" << apps_.size() << " max_rho=" << MaxFairness()
+  os << "apps=" << finished_apps_ << " max_rho=" << MaxFairness()
      << " median_rho=" << MedianFairness() << " jain=" << JainsFairnessIndex()
      << " avg_act=" << AverageCompletionTime() << " gpu_time=" << TotalGpuTime();
   return os.str();

@@ -5,8 +5,24 @@
 //   - GPU Time: total GPU-minutes consumed; lower = more efficient cluster use
 //   - App Completion Time (ACT): finish - arrival per app
 // The simulator feeds the collector; benches and tests read the summaries.
+//
+// Two memory modes:
+//   - exact (default): every AppRecord is kept; summaries are computed from
+//     the full vector exactly as they always were.
+//   - bounded: per-app records go into a fixed-capacity reservoir sample and
+//     summaries come from O(1) running aggregates (max/min/mean/Jain are
+//     *exact* — same additions in the same order as the vector form — and
+//     the median is a P² streaming estimate). Memory no longer grows with
+//     the number of finished apps, which is what lets a million-job trace
+//     replay in constant metric memory.
+// In both modes the Fig. 8-style allocation timeline is capped at
+// `timeline_capacity` samples by deterministic stride decimation (keep every
+// 2^k-th sample); the default cap is large enough that existing benches never
+// reach it, so their output is unchanged.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -34,16 +50,39 @@ struct AllocationSample {
   int gpus = 0;
 };
 
+struct MetricsConfig {
+  /// Keep only constant-memory aggregates + a reservoir sample of apps.
+  bool bounded_memory = false;
+  /// Reservoir size for per-app distributions in bounded mode.
+  std::size_t reservoir_capacity = 4096;
+  /// Max retained allocation-timeline samples (both modes); 0 = unbounded.
+  std::size_t timeline_capacity = std::size_t{1} << 20;
+  /// Seed for the reservoir's eviction RNG.
+  std::uint64_t seed = 0x5EEDULL;
+};
+
 class MetricsCollector {
  public:
+  MetricsCollector() : MetricsCollector(MetricsConfig{}) {}
+  explicit MetricsCollector(const MetricsConfig& config);
+
   void RecordAppFinish(const AppRecord& record);
   void RecordGpuTime(Work gpu_minutes) { gpu_time_ += gpu_minutes; }
   void RecordAllocation(Time time, AppId app, int gpus);
   void RecordAuction(int participants, int offered_gpus, int granted_gpus,
                      int leftover_gpus);
 
-  const std::vector<AppRecord>& apps() const { return apps_; }
+  /// All finished apps in exact mode; the reservoir sample in bounded mode.
+  const std::vector<AppRecord>& apps() const;
+  /// Number of apps recorded (exceeds apps().size() once a bounded-mode
+  /// reservoir overflows).
+  std::size_t finished_apps() const { return finished_apps_; }
+
   const std::vector<AllocationSample>& timeline() const { return timeline_; }
+  /// Current decimation stride: sample i was retained iff i % stride == 0.
+  std::size_t timeline_stride() const { return timeline_stride_; }
+  /// Allocation samples offered to RecordAllocation (pre-decimation).
+  std::size_t allocation_samples_seen() const { return allocation_seen_; }
 
   double MaxFairness() const;
   double MedianFairness() const;
@@ -58,11 +97,27 @@ class MetricsCollector {
   int auctions_run() const { return auctions_; }
   double MeanLeftoverFraction() const;
 
+  const MetricsConfig& config() const { return config_; }
+
   std::string SummaryString() const;
 
  private:
-  std::vector<AppRecord> apps_;
+  MetricsConfig config_;
+
+  std::vector<AppRecord> apps_;       // exact mode only
+  Reservoir<AppRecord> sample_;       // bounded mode only
+  std::size_t finished_apps_ = 0;
+
+  // Running aggregates, updated in both modes (O(1) each).
+  Summary rho_range_;
+  MomentAccumulator rho_moments_;
+  P2Quantile rho_median_{0.5};
+  Summary act_;
+
   std::vector<AllocationSample> timeline_;
+  std::size_t timeline_stride_ = 1;
+  std::size_t allocation_seen_ = 0;
+
   Work gpu_time_ = 0.0;
   int auctions_ = 0;
   double leftover_fraction_sum_ = 0.0;

@@ -55,13 +55,10 @@ std::unique_ptr<ISchedulerPolicy> MakePolicy(PolicyKind kind,
   return std::make_unique<ThemisPolicy>(themis_config);
 }
 
-ExperimentResult RunExperimentWithApps(const ExperimentConfig& config,
-                                       std::vector<AppSpec> apps,
-                                       Simulator::RoundObserver round_observer) {
-  Simulator sim(config.cluster, std::move(apps),
-                MakePolicy(config.policy, config.themis), config.sim);
-  if (round_observer) sim.set_round_observer(std::move(round_observer));
-  SimResult run = sim.Run();
+namespace {
+
+/// Shared metric-summary step for every run form (preloaded or streamed).
+ExperimentResult Summarize(const ExperimentConfig& config, SimResult run) {
   const double contention = run.peak_contention;
 
   ExperimentResult result;
@@ -88,7 +85,29 @@ ExperimentResult RunExperimentWithApps(const ExperimentConfig& config,
     result.placement_scores.push_back(rec.mean_placement_score);
   }
   result.timeline = run.metrics.timeline();
+  result.total_apps = run.total_apps;
+  result.peak_live_apps = run.peak_live_apps;
   return result;
+}
+
+}  // namespace
+
+ExperimentResult RunExperimentWithApps(const ExperimentConfig& config,
+                                       std::vector<AppSpec> apps,
+                                       Simulator::RoundObserver round_observer) {
+  Simulator sim(config.cluster, std::move(apps),
+                MakePolicy(config.policy, config.themis), config.sim);
+  if (round_observer) sim.set_round_observer(std::move(round_observer));
+  return Summarize(config, sim.Run());
+}
+
+ExperimentResult RunStreamingExperiment(const ExperimentConfig& config,
+                                        std::unique_ptr<TraceReader> trace) {
+  SimConfig sim_config = config.sim;
+  sim_config.retire_finished_apps = true;
+  Simulator sim(config.cluster, std::move(trace),
+                MakePolicy(config.policy, config.themis), sim_config);
+  return Summarize(config, sim.Run());
 }
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
@@ -180,11 +199,19 @@ std::vector<ScenarioRun> SweepRunner::Run(
         ScenarioRun& run = out[i];
         run.name = spec.name;
         try {
-          run.result =
-              spec.trace_csv.empty()
-                  ? RunExperiment(spec.config)
-                  : RunExperimentWithApps(spec.config,
-                                          ReadTraceCsvFile(spec.trace_csv));
+          if (!spec.trace_file.empty() && !spec.trace_csv.empty())
+            throw std::runtime_error(
+                "scenario sets both trace_csv and trace_file");
+          if (!spec.trace_file.empty()) {
+            run.result = RunStreamingExperiment(
+                spec.config,
+                std::make_unique<StreamingCsvTraceReader>(spec.trace_file));
+          } else if (!spec.trace_csv.empty()) {
+            run.result = RunExperimentWithApps(spec.config,
+                                               ReadTraceCsvFile(spec.trace_csv));
+          } else {
+            run.result = RunExperiment(spec.config);
+          }
           run.ok = true;
         } catch (const std::exception& e) {
           run.error = e.what();

@@ -52,6 +52,10 @@ struct ExperimentResult {
   std::vector<double> completion_times;
   std::vector<double> placement_scores;
   std::vector<AllocationSample> timeline;
+  /// Apps seen end to end / peak simultaneously-resident AppStates (see
+  /// SimResult). Not part of SweepCsv, whose columns are pinned.
+  std::size_t total_apps = 0;
+  std::size_t peak_live_apps = 0;
 };
 
 /// Generate the trace from `config.trace`, run one simulation, summarize.
@@ -63,6 +67,13 @@ ExperimentResult RunExperiment(const ExperimentConfig& config);
 ExperimentResult RunExperimentWithApps(
     const ExperimentConfig& config, std::vector<AppSpec> apps,
     Simulator::RoundObserver round_observer = {});
+
+/// Run with a streamed workload: apps are injected as the reader advances
+/// and retired as they finish (`retire_finished_apps` is forced on), so
+/// memory tracks concurrent apps — the million-job replay path. Combine
+/// with `config.sim.metrics.bounded_memory` for constant-memory metrics.
+ExperimentResult RunStreamingExperiment(const ExperimentConfig& config,
+                                        std::unique_ptr<TraceReader> trace);
 
 /// The testbed-scale configuration of Sec. 8.3: 50-GPU cluster, durations
 /// scaled down 5x, same inter-arrival distribution.
@@ -89,6 +100,10 @@ struct ScenarioSpec {
   /// When non-empty, load apps from this WriteTraceCsv archive instead of
   /// generating from config.trace.
   std::string trace_csv;
+  /// When non-empty, *stream* this archive through RunStreamingExperiment
+  /// (arrival-sorted input required; finished apps retired eagerly).
+  /// Mutually exclusive with trace_csv.
+  std::string trace_file;
 };
 
 /// Outcome of one scenario. A scenario that throws (bad trace file, invalid

@@ -35,6 +35,7 @@ void SchedulerContext::Grant(AppState& app, JobState& job,
   }
   granted_gpus_ += static_cast<int>(gpus.size());
   grants_.grants.push_back({app.id, job.id, gpus});
+  granted_jobs_.emplace_back(app.id, job.id);
 }
 
 GrantSet SchedulerContext::TakeGrants() {

@@ -9,6 +9,7 @@
 // rescheduling.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -67,6 +68,14 @@ class SchedulerContext {
   /// The pending grant set (e.g. for a policy stamping auction diagnostics).
   GrantSet& grants() { return grants_; }
 
+  /// Every (app, job) that received a grant this round, in staging order
+  /// (may repeat). Unlike grants(), this record survives TakeGrants(), so
+  /// the simulator's change detection can enumerate grown gangs even when a
+  /// legacy Schedule() wrapper consumed the GrantSet inside the round.
+  const std::vector<std::pair<AppId, JobId>>& granted_jobs() const {
+    return granted_jobs_;
+  }
+
   /// Finish the round: stamp the pool-level diagnostics (offered / granted /
   /// leftover) and move the GrantSet out. The context is spent afterwards.
   GrantSet TakeGrants();
@@ -80,6 +89,7 @@ class SchedulerContext {
   Rng* rng_;
   FreePool pool_;
   GrantSet grants_;
+  std::vector<std::pair<AppId, JobId>> granted_jobs_;
   int offered_gpus_ = 0;
   int granted_gpus_ = 0;
 };

@@ -200,13 +200,20 @@ void ApplyThemis(const JsonValue& v, ThemisConfig& themis) {
 
 void ApplyScenarioObject(const JsonValue& v, ScenarioSpec& spec) {
   CheckKeys(v, "scenario",
-            {"name", "policy", "cluster", "trace", "trace_csv", "sim",
-             "themis"});
+            {"name", "policy", "cluster", "trace", "trace_csv", "trace_file",
+             "sim", "themis"});
   // A replayed CSV fixes the workload, so trace-generation knobs alongside
   // it would be silently ignored — reject the mix (same rule as cluster
-  // preset + dimensions).
+  // preset + dimensions). "trace_file" is the streamed replay of the same
+  // format, so the same rule applies, and the two replay forms are mutually
+  // exclusive.
   if (v.Find("trace_csv") != nullptr && v.Find("trace") != nullptr)
     Fail("\"trace_csv\" cannot be combined with \"trace\" knobs");
+  if (v.Find("trace_file") != nullptr && v.Find("trace") != nullptr)
+    Fail("\"trace_file\" cannot be combined with \"trace\" knobs");
+  if (v.Find("trace_file") != nullptr && v.Find("trace_csv") != nullptr)
+    Fail("\"trace_file\" (streamed) and \"trace_csv\" (preloaded) are "
+         "mutually exclusive");
   if (const JsonValue* policy = v.Find("policy"))
     spec.config.policy = PolicyKindFromString(policy->AsString());
   if (const JsonValue* cluster = v.Find("cluster"))
@@ -214,6 +221,8 @@ void ApplyScenarioObject(const JsonValue& v, ScenarioSpec& spec) {
   if (const JsonValue* trace = v.Find("trace"))
     ApplyTrace(*trace, spec.config.trace);
   if (const JsonValue* csv = v.Find("trace_csv")) spec.trace_csv = csv->AsString();
+  if (const JsonValue* file = v.Find("trace_file"))
+    spec.trace_file = file->AsString();
   if (const JsonValue* sim = v.Find("sim")) ApplySim(*sim, spec.config.sim);
   if (const JsonValue* themis = v.Find("themis"))
     ApplyThemis(*themis, spec.config.themis);
@@ -267,7 +276,13 @@ std::vector<ScenarioSpec> LoadScenarios(const std::string& json_text) {
       if (!sim_seed_pinned) config.sim.seed = seed;
     }
     ScenarioSpec spec = ScenarioFromJson(entry, config);
-    if (spec.trace_csv.empty()) spec.trace_csv = base_spec.trace_csv;
+    // A scenario that names its own replay source overrides the defaults';
+    // otherwise it inherits whichever form (preloaded or streamed) the
+    // defaults chose. ApplyScenarioObject already rejects setting both.
+    if (spec.trace_csv.empty() && spec.trace_file.empty()) {
+      spec.trace_csv = base_spec.trace_csv;
+      spec.trace_file = base_spec.trace_file;
+    }
     out.push_back(std::move(spec));
   }
   if (out.empty()) Fail("\"scenarios\" array is empty");

@@ -32,7 +32,10 @@
 // "trace_csv" replays an archived trace and cannot be combined with
 // "trace" knobs in the same object (the knobs would be silently ignored);
 // a scenario-level "trace_csv" does override trace settings inherited from
-// "defaults".
+// "defaults". "trace_file" streams the same CSV format instead of
+// preloading it (arrival-sorted input required; finished apps are retired
+// eagerly — the million-job replay path) and is mutually exclusive with
+// both "trace_csv" and "trace" knobs.
 // Unknown keys anywhere are an error — scenario files fail loudly, not by
 // silently ignoring a typo'd knob.
 #pragma once

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <stdexcept>
+#include <utility>
 
 #include "common/log.h"
 
@@ -33,6 +34,10 @@ void SimConfig::Validate() const {
         "SimConfig: machine_repair_minutes must be > 0 when failure "
         "injection is on (got " +
         std::to_string(machine_repair_minutes) + ")");
+  if (arrival_lookahead_minutes < 0.0)
+    throw std::invalid_argument(
+        "SimConfig: arrival_lookahead_minutes must be >= 0 (got " +
+        std::to_string(arrival_lookahead_minutes) + ")");
 }
 
 Simulator::Simulator(ClusterSpec cluster_spec, std::vector<AppSpec> specs,
@@ -42,33 +47,10 @@ Simulator::Simulator(ClusterSpec cluster_spec, std::vector<AppSpec> specs,
       scheduler_(std::move(scheduler)),
       config_(config),
       estimator_(config.estimator),
-      rng_(config.seed) {
+      rng_(config.seed),
+      metrics_(config.metrics) {
   config_.Validate();
-  apps_.reserve(specs.size());
-  AppId next_app = 0;
-  for (AppSpec& spec : specs) {
-    auto app = std::make_unique<AppState>();
-    app->id = next_app++;
-    app->spec = std::move(spec);
-    // T_ID assumes the app ran alone with ideal placement — on a
-    // heterogeneous cluster that means the fastest generation, so rho
-    // compares effective GPU-hours, not raw counts. Division by 1.0 on
-    // uniform-speed clusters leaves the classic T_ID bit-identical.
-    app->ideal_time = std::max(
-        1e-9, app->spec.IdealRunningTime() / cluster_.topology().max_speed());
-    app->tuner = MakeAppScheduler(app->spec);
-    JobId next_job = 0;
-    for (const JobSpec& js : app->spec.jobs) {
-      JobState job;
-      job.id = next_job++;
-      job.spec = js;
-      job.parallelism_cap = js.MaxParallelism();
-      app->jobs.push_back(std::move(job));
-    }
-    queue_.Push(Event{app->spec.arrival, 0, EventType::kAppArrival, app->id,
-                      kNoJob, 0});
-    apps_.push_back(std::move(app));
-  }
+  for (AppSpec& spec : specs) InjectApp(std::move(spec));
 
   // Failure injection: seed per-machine failure clocks (Sec. 6).
   failure_rng_ = Rng(config_.seed ^ 0xFA11DEADULL);
@@ -84,8 +66,99 @@ Simulator::Simulator(ClusterSpec cluster_spec, std::vector<AppSpec> specs,
   }
 }
 
+Simulator::Simulator(ClusterSpec cluster_spec,
+                     std::unique_ptr<TraceReader> trace,
+                     std::unique_ptr<IRoundScheduler> scheduler,
+                     SimConfig config)
+    : cluster_(std::move(cluster_spec)),
+      scheduler_(std::move(scheduler)),
+      config_(config),
+      estimator_(config.estimator),
+      rng_(config.seed),
+      metrics_(config.metrics),
+      reader_(std::move(trace)) {
+  config_.Validate();
+  have_pending_ = reader_->Next(pending_spec_);
+
+  // Failure injection: seed per-machine failure clocks (Sec. 6). Seeded from
+  // the same derived RNG as the preloaded path, so streamed and preloaded
+  // runs of one trace see identical failure schedules.
+  failure_rng_ = Rng(config_.seed ^ 0xFA11DEADULL);
+  if (config_.machine_mtbf_minutes > 0.0) {
+    for (MachineId m = 0; m < static_cast<MachineId>(cluster_.num_machines());
+         ++m) {
+      Event e;
+      e.time = failure_rng_.Exponential(config_.machine_mtbf_minutes);
+      e.type = EventType::kMachineFail;
+      e.machine = m;
+      queue_.Push(e);
+    }
+  }
+}
+
+void Simulator::InjectApp(AppSpec&& spec) {
+  auto app = std::make_unique<AppState>();
+  app->id = next_app_id_++;
+  app->spec = std::move(spec);
+  // T_ID assumes the app ran alone with ideal placement — on a
+  // heterogeneous cluster that means the fastest generation, so rho
+  // compares effective GPU-hours, not raw counts. Division by 1.0 on
+  // uniform-speed clusters leaves the classic T_ID bit-identical.
+  app->ideal_time = std::max(
+      1e-9, app->spec.IdealRunningTime() / cluster_.topology().max_speed());
+  app->tuner = MakeAppScheduler(app->spec);
+  JobId next_job = 0;
+  for (const JobSpec& js : app->spec.jobs) {
+    JobState job;
+    job.id = next_job++;
+    job.spec = js;
+    job.parallelism_cap = js.MaxParallelism();
+    app->jobs.push_back(std::move(job));
+  }
+  queue_.Push(Event{app->spec.arrival, 0, EventType::kAppArrival, app->id,
+                    kNoJob, 0});
+  apps_.push_back(std::move(app));
+  ++live_apps_;
+  peak_live_apps_ = std::max(peak_live_apps_, live_apps_);
+}
+
+void Simulator::RefillArrivals() {
+  while (have_pending_) {
+    // Past the horizon, apps stay in the reader; they are accounted (as
+    // unfinished) when the run ends.
+    if (pending_spec_.arrival > config_.max_time) break;
+    if (!queue_.Empty() &&
+        static_cast<std::size_t>(finished_apps_) !=
+            static_cast<std::size_t>(next_app_id_) &&
+        pending_spec_.arrival >
+            queue_.Top().time + 1e-12 + config_.arrival_lookahead_minutes)
+      break;
+    if (pending_spec_.arrival < last_injected_arrival_)
+      throw std::runtime_error(
+          "Simulator: streamed trace is not arrival-sorted (app arriving at " +
+          std::to_string(pending_spec_.arrival) + " follows one at " +
+          std::to_string(last_injected_arrival_) +
+          "); sort the trace or preload it");
+    last_injected_arrival_ = pending_spec_.arrival;
+    InjectApp(std::move(pending_spec_));
+    have_pending_ = reader_->Next(pending_spec_);
+  }
+}
+
+void Simulator::RetireApp(AppId id) {
+  if (!config_.retire_finished_apps) return;
+  apps_[id - apps_base_].reset();
+  --live_apps_;
+  while (!apps_.empty() && apps_.front() == nullptr) {
+    apps_.pop_front();
+    ++apps_base_;
+  }
+}
+
 AppState* Simulator::FindApp(AppId id) {
-  return (id < apps_.size()) ? apps_[id].get() : nullptr;
+  if (id < apps_base_) return nullptr;
+  const std::size_t idx = id - apps_base_;
+  return (idx < apps_.size()) ? apps_[idx].get() : nullptr;
 }
 
 void Simulator::ActivateApp(AppState* app) {
@@ -197,11 +270,11 @@ void Simulator::SchedulingPass(Time t) {
   // proportional to the pending ticks, not the run length.
   pushed_ticks_.erase(pushed_ticks_.begin(), pushed_ticks_.upper_bound(t));
 
-  // Snapshot gangs to detect real changes (lease renewals that win the same
-  // GPUs back incur no restart overhead).
-  std::map<std::pair<AppId, JobId>, std::vector<GpuId>> before;
-  for (AppState* app : active_apps_)
-    for (JobState& job : app->jobs) before[{app->id, job.id}] = job.gpus;
+  // Change detection is lazy: only jobs actually touched this pass — lease
+  // expiries (snapshotted below, before their first removal) and round
+  // grants (whose gangs strictly grow) — are examined, so the cost scales
+  // with the churn of the pass, not with every live gang in the cluster.
+  std::map<std::pair<AppId, JobId>, std::vector<GpuId>> reclaimed_before;
 
   // 1. Reclaim expired leases (O(expired log n) via the expiry index).
   for (GpuId g : cluster_.ExpiredGpus(t)) {
@@ -210,6 +283,7 @@ void Simulator::SchedulingPass(Time t) {
     AppState* app = FindApp(lease.app);
     if (app != nullptr && lease.job < app->jobs.size()) {
       auto& gpus = app->jobs[lease.job].gpus;
+      reclaimed_before.try_emplace({lease.app, lease.job}, gpus);
       gpus.erase(std::remove(gpus.begin(), gpus.end(), g), gpus.end());
     }
   }
@@ -239,6 +313,7 @@ void Simulator::SchedulingPass(Time t) {
   // the cluster indices, round id = pass number), let the scheduler stage
   // its grants against the offer's pool, then apply the leases — the single
   // grant-application path; policies never touch the cluster.
+  std::vector<std::pair<AppId, JobId>> granted_jobs;
   std::vector<GpuId> free = cluster_.FreeGpus();
   if (!free.empty() && !active_apps_.empty()) {
     ResourceOffer offer;
@@ -257,23 +332,40 @@ void Simulator::SchedulingPass(Time t) {
                              grants.diagnostics.granted_gpus,
                              grants.diagnostics.leftover_gpus);
     if (round_observer_) round_observer_(offer, grants);
+    // The context, not the returned set, is the authoritative record of
+    // staged grants: legacy Schedule() shims apply-and-consume the GrantSet
+    // inside the round, but every grant still passes through ctx.Grant.
+    granted_jobs = ctx.granted_jobs();
   }
 
-  // 4. Apply restart overheads for changed gangs; sample placement scores.
+  // 4a. Apply restart overheads to the touched jobs. Reclaimed jobs carry
+  // their pre-pass gang; granted jobs strictly grew, so a grant with no
+  // snapshot is changed by construction. A reclaimed gang re-won intact by
+  // a lease renewal compares equal and incurs no restart (same rule as the
+  // old full-snapshot walk). std::map order keeps the (app, job) ascending
+  // walk — and so the placement-score accumulation order — of that walk.
+  std::map<std::pair<AppId, JobId>, const std::vector<GpuId>*> touched;
+  for (const auto& [key, gang] : reclaimed_before) touched[key] = &gang;
+  for (const auto& key : granted_jobs) touched.try_emplace(key, nullptr);
+  for (const auto& [key, before] : touched) {
+    AppState* app = FindApp(key.first);
+    if (app == nullptr || app->finished || key.second >= app->jobs.size())
+      continue;
+    JobState& job = app->jobs[key.second];
+    const bool changed = before == nullptr || *before != job.gpus;
+    if (!changed) continue;
+    ++job.alloc_version;
+    if (!job.gpus.empty()) {
+      job.resume_at = t + config_.restart_overhead_minutes;
+      app->placement_scores.Add(PlacementScore(job.gpus, cluster_.topology()));
+    }
+  }
+
+  // 4b. Sample the allocation timeline (Fig. 8): held GPUs per active app.
   for (AppState* app : active_apps_) {
     int held = 0;
-    for (JobState& job : app->jobs) {
+    for (const JobState& job : app->jobs)
       held += static_cast<int>(job.gpus.size());
-      auto it = before.find({app->id, job.id});
-      const bool changed = it == before.end() || it->second != job.gpus;
-      if (!changed) continue;
-      ++job.alloc_version;
-      if (!job.gpus.empty()) {
-        job.resume_at = t + config_.restart_overhead_minutes;
-        app->placement_scores.Add(
-            PlacementScore(job.gpus, cluster_.topology()));
-      }
-    }
     metrics_.RecordAllocation(t, app->id, held);
   }
 
@@ -285,7 +377,13 @@ void Simulator::SchedulingPass(Time t) {
 }
 
 SimResult Simulator::Run() {
-  while (!queue_.Empty() && finished_apps_ < static_cast<int>(apps_.size())) {
+  while (true) {
+    RefillArrivals();
+    if (queue_.Empty()) break;
+    if (static_cast<std::size_t>(finished_apps_) ==
+            static_cast<std::size_t>(next_app_id_) &&
+        ReaderExhausted())
+      break;
     const Time t = queue_.Top().time;
     if (t > config_.max_time) break;
     AdvanceTo(t);
@@ -313,6 +411,9 @@ SimResult Simulator::Run() {
           if (job.RemainingWork() <= kFinishEps + 1e-9 * job.spec.total_work) {
             FinishJob(t, *app, job);
             need_schedule = true;
+            // The app's metrics are flushed; its JobState/tuner/placement
+            // state can go. `app` and `job` dangle past this point.
+            RetireApp(e.app);
           }
           // Otherwise the projection was invalidated by an overhead change;
           // a fresh event was (or will be) scheduled by the pass that
@@ -350,7 +451,9 @@ SimResult Simulator::Run() {
         case EventType::kMachineRepair: {
           cluster_.SetMachineDown(e.machine, false);
           if (config_.machine_mtbf_minutes > 0.0 &&
-              finished_apps_ < static_cast<int>(apps_.size())) {
+              (static_cast<std::size_t>(finished_apps_) <
+                   static_cast<std::size_t>(next_app_id_) ||
+               !ReaderExhausted())) {
             Event next;
             next.time = t + failure_rng_.Exponential(config_.machine_mtbf_minutes);
             next.type = EventType::kMachineFail;
@@ -371,8 +474,19 @@ SimResult Simulator::Run() {
   result.peak_contention = peak_contention_;
   result.machine_failures = machine_failures_;
   result.gpu_leases_revoked_by_failures = leases_revoked_by_failures_;
-  for (auto& app : apps_)
-    if (!app->finished) result.unfinished.push_back(app->id);
+  for (const auto& app : apps_)
+    if (app != nullptr && !app->finished) result.unfinished.push_back(app->id);
+  // Apps still in the reader never arrived (the run hit max_time first);
+  // they are unfinished by definition. Assign their would-be ids one at a
+  // time — the trace itself is never materialized.
+  if (have_pending_) {
+    do {
+      result.unfinished.push_back(next_app_id_++);
+    } while (reader_->Next(pending_spec_));
+    have_pending_ = false;
+  }
+  result.total_apps = static_cast<std::size_t>(next_app_id_);
+  result.peak_live_apps = peak_live_apps_;
   result.metrics = std::move(metrics_);
   return result;
 }

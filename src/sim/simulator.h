@@ -9,8 +9,18 @@
 // when its first job reaches the target accuracy — that job is the "best
 // model" that defines the app's finish time (Sec. 2.1) — at which point the
 // remaining jobs are terminated and their GPUs reclaimed.
+//
+// Workloads arrive either as a preloaded vector (every AppState built up
+// front — the classic path, bit-identical to before) or through a
+// TraceReader: arrivals are injected as the stream advances, so the event
+// queue and AppState store hold only apps near the simulation frontier.
+// With `retire_finished_apps` set, an app's JobState/tuner/placement state
+// is destroyed as soon as its final metrics are flushed — live memory then
+// tracks *concurrent* apps, not total apps, which is what lets a
+// million-job trace replay in bounded memory.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <set>
@@ -47,6 +57,17 @@ struct SimConfig {
   Time machine_mtbf_minutes = 0.0;
   Time machine_repair_minutes = 60.0;
 
+  /// Destroy an app's state once it finishes and its metrics are recorded.
+  /// Requires nothing of the workload source but only pays off with a
+  /// TraceReader, where live memory then tracks concurrent apps.
+  bool retire_finished_apps = false;
+  /// How far past the event-queue frontier to inject streamed arrivals.
+  /// 0 keeps the queue minimal; larger values trade memory for fewer reader
+  /// touches. Ignored for preloaded workloads.
+  Time arrival_lookahead_minutes = 0.0;
+  /// Metrics memory mode (exact by default; see MetricsConfig).
+  MetricsConfig metrics;
+
   /// Reject configurations that would silently produce nonsense runs
   /// (non-positive lease, negative overhead, ...). Throws
   /// std::invalid_argument naming the offending knob; called by the
@@ -67,18 +88,32 @@ struct SimResult {
   /// Failure-injection accounting.
   int machine_failures = 0;
   int gpu_leases_revoked_by_failures = 0;
+  /// Apps seen end to end (streamed or preloaded; includes unfinished).
+  std::size_t total_apps = 0;
+  /// Peak simultaneously-resident AppStates. Equals total_apps unless
+  /// retire_finished_apps; with retirement it tracks peak concurrency.
+  std::size_t peak_live_apps = 0;
 };
 
 class Simulator {
  public:
+  /// Preloaded workload: every AppState is built up front.
   Simulator(ClusterSpec cluster_spec, std::vector<AppSpec> apps,
+            std::unique_ptr<IRoundScheduler> scheduler, SimConfig config = {});
+
+  /// Streamed workload: apps are pulled from the reader (which must yield
+  /// them in nondecreasing arrival order) as simulated time approaches
+  /// their arrival.
+  Simulator(ClusterSpec cluster_spec, std::unique_ptr<TraceReader> trace,
             std::unique_ptr<IRoundScheduler> scheduler, SimConfig config = {});
 
   /// Run to completion (all apps finished) or to config.max_time.
   SimResult Run();
 
   const Cluster& cluster() const { return cluster_; }
-  const std::vector<std::unique_ptr<AppState>>& apps() const { return apps_; }
+  /// Resident apps, indexed by AppId minus the retirement offset; retired
+  /// slots are null until the front of the window is popped.
+  const std::deque<std::unique_ptr<AppState>>& apps() const { return apps_; }
 
   /// Observe every (offer, grants) round as it is applied — the federation
   /// layer uses this to check cross-shard invariants; tests use it to audit
@@ -102,8 +137,24 @@ class Simulator {
   void ActivateApp(AppState* app);
   void DeactivateApp(AppId id);
 
+  /// Build the AppState for `spec`, assign it the next AppId, and enqueue
+  /// its arrival event. Shared by the preloading constructor and the
+  /// streaming refill.
+  void InjectApp(AppSpec&& spec);
+  /// Pull streamed arrivals up to the lookahead horizon (and always at
+  /// least one when the queue is empty or everything injected finished).
+  void RefillArrivals();
+  /// True once the trace source has no further apps (trivially true for
+  /// preloaded workloads).
+  bool ReaderExhausted() const { return !have_pending_; }
+  /// Destroy a finished app's state (no-op unless retire_finished_apps).
+  void RetireApp(AppId id);
+
   Cluster cluster_;
-  std::vector<std::unique_ptr<AppState>> apps_;
+  /// Resident apps; apps_[id - apps_base_] is the state for `id`. Retired
+  /// entries are nulled, and the deque front is popped as it nulls out.
+  std::deque<std::unique_ptr<AppState>> apps_;
+  AppId apps_base_ = 0;
   /// Apps that arrived and have not finished, sorted by AppId. Every
   /// per-pass walk (progress advance, tuner step, finish-event rescheduling)
   /// iterates this set instead of rescanning apps_.
@@ -123,6 +174,15 @@ class Simulator {
   Rng failure_rng_{0xFA11};
   int machine_failures_ = 0;
   int leases_revoked_by_failures_ = 0;
+
+  // Streaming source (null for preloaded workloads).
+  std::unique_ptr<TraceReader> reader_;
+  AppSpec pending_spec_;
+  bool have_pending_ = false;
+  Time last_injected_arrival_ = -kInfiniteTime;
+  AppId next_app_id_ = 0;
+  std::size_t live_apps_ = 0;
+  std::size_t peak_live_apps_ = 0;
 };
 
 }  // namespace themis

@@ -12,12 +12,18 @@ TraceGenerator::TraceGenerator(TraceConfig config)
 std::vector<AppSpec> TraceGenerator::Generate() {
   std::vector<AppSpec> apps;
   apps.reserve(config_.num_apps);
-  Time now = 0.0;
-  for (int i = 0; i < config_.num_apps; ++i) {
-    apps.push_back(GenerateApp(now, i));
-    now += rng_.Exponential(config_.mean_interarrival / config_.contention_factor);
-  }
+  AppSpec app;
+  while (GenerateNext(app)) apps.push_back(std::move(app));
   return apps;
+}
+
+bool TraceGenerator::GenerateNext(AppSpec& out) {
+  if (next_index_ >= config_.num_apps) return false;
+  out = GenerateApp(next_arrival_, next_index_);
+  next_arrival_ +=
+      rng_.Exponential(config_.mean_interarrival / config_.contention_factor);
+  ++next_index_;
+  return true;
 }
 
 AppSpec TraceGenerator::GenerateApp(Time arrival, int index) {
@@ -79,6 +85,21 @@ JobSpec TraceGenerator::GenerateJob(const ModelProfile& model, Rng& app_rng) {
       config_.target_loss * std::pow(job.total_iterations + 1.0, decay);
   job.loss = LossCurve(scale, decay, 0.0);
   return job;
+}
+
+StreamedTraceStats WriteGeneratedTrace(const TraceConfig& config,
+                                       StreamingTraceWriter& out,
+                                       long long max_jobs) {
+  TraceGenerator gen(config);
+  StreamedTraceStats stats;
+  AppSpec app;
+  while ((max_jobs <= 0 || stats.jobs < max_jobs) && gen.GenerateNext(app)) {
+    out.Append(app);
+    ++stats.apps;
+    stats.jobs += static_cast<long long>(app.jobs.size());
+    stats.last_arrival = app.arrival;
+  }
+  return stats;
 }
 
 }  // namespace themis

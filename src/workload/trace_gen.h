@@ -16,6 +16,7 @@
 
 #include "common/rng.h"
 #include "workload/job_spec.h"
+#include "workload/trace_io.h"
 
 namespace themis {
 
@@ -63,8 +64,19 @@ class TraceGenerator {
   explicit TraceGenerator(TraceConfig config);
 
   /// Generate the full app sequence (arrival-sorted). Deterministic in the
-  /// config seed.
+  /// config seed. Implemented as GenerateNext in a loop, so the streamed and
+  /// materialized forms draw identical RNG streams — same seed, same trace,
+  /// bit for bit.
   std::vector<AppSpec> Generate();
+
+  /// Generate the next app in the sequence without materializing the rest;
+  /// returns false once config.num_apps apps have been produced. Interleaves
+  /// the same RNG draws as Generate(), so `while (GenerateNext(a))` yields
+  /// exactly Generate()'s output one app at a time.
+  bool GenerateNext(AppSpec& out);
+
+  /// Apps produced so far via Generate()/GenerateNext().
+  int apps_generated() const { return next_index_; }
 
   /// Generate a single app arriving at `arrival`; exposed for tests and the
   /// Fig. 8 hand-built scenario.
@@ -77,6 +89,37 @@ class TraceGenerator {
 
   TraceConfig config_;
   Rng rng_;
+  int next_index_ = 0;
+  Time next_arrival_ = 0.0;
 };
+
+/// TraceReader adapter over TraceGenerator: the simulator can replay a
+/// synthetic trace of any size without it ever existing as a vector.
+class GeneratorTraceReader : public TraceReader {
+ public:
+  explicit GeneratorTraceReader(TraceConfig config) : gen_(config) {}
+
+  bool Next(AppSpec& out) override { return gen_.GenerateNext(out); }
+
+  const TraceGenerator& generator() const { return gen_; }
+
+ private:
+  TraceGenerator gen_;
+};
+
+/// Result of a streamed generation run.
+struct StreamedTraceStats {
+  long long apps = 0;
+  long long jobs = 0;
+  Time last_arrival = 0.0;
+};
+
+/// Generate config.num_apps apps (stopping early once `max_jobs` jobs have
+/// been emitted, if max_jobs > 0) straight into a streaming writer — the
+/// million-job path: no app vector, constant memory. Deterministic in the
+/// config seed. The caller closes the writer.
+StreamedTraceStats WriteGeneratedTrace(const TraceConfig& config,
+                                       StreamingTraceWriter& out,
+                                       long long max_jobs = 0);
 
 }  // namespace themis

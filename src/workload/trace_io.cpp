@@ -27,6 +27,18 @@ std::vector<std::string> SplitCsvLine(const std::string& line) {
                            what);
 }
 
+void WriteAppRows(std::ostream& out, const AppSpec& app, std::size_t index) {
+  for (const JobSpec& job : app.jobs) {
+    out << index << ',' << app.name << ',' << app.arrival << ','
+        << ToString(app.tuner) << ',' << app.target_loss << ','
+        << job.num_tasks << ',' << job.gpus_per_task << ','
+        << job.total_work << ',' << job.total_iterations << ','
+        << job.loss.scale() << ',' << job.loss.decay() << ','
+        << job.loss.floor() << ',' << job.model.name << ','
+        << ToString(job.max_span) << '\n';
+  }
+}
+
 }  // namespace
 
 const char* ToString(TunerKind kind) {
@@ -53,58 +65,82 @@ LocalityLevel LocalityLevelFromString(const std::string& name) {
   throw std::runtime_error("unknown locality level: " + name);
 }
 
-void WriteTraceCsv(std::ostream& out, const std::vector<AppSpec>& apps) {
-  out << kHeader << '\n';
-  out.precision(17);
-  for (std::size_t i = 0; i < apps.size(); ++i) {
-    const AppSpec& app = apps[i];
-    for (const JobSpec& job : app.jobs) {
-      out << i << ',' << app.name << ',' << app.arrival << ','
-          << ToString(app.tuner) << ',' << app.target_loss << ','
-          << job.num_tasks << ',' << job.gpus_per_task << ','
-          << job.total_work << ',' << job.total_iterations << ','
-          << job.loss.scale() << ',' << job.loss.decay() << ','
-          << job.loss.floor() << ',' << job.model.name << ','
-          << ToString(job.max_span) << '\n';
-    }
-  }
+// ---------------------------------------------------------------------------
+// Readers.
+
+bool VectorTraceReader::Next(AppSpec& out) {
+  if (next_ >= apps_.size()) return false;
+  out = std::move(apps_[next_++]);
+  return true;
 }
 
-void WriteTraceCsvFile(const std::string& path,
-                       const std::vector<AppSpec>& apps) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
-  WriteTraceCsv(out, apps);
+StreamingCsvTraceReader::StreamingCsvTraceReader(const std::string& path)
+    : owned_(std::make_unique<std::ifstream>(path)),
+      in_(owned_.get()),
+      require_sorted_(true),
+      source_(path) {
+  if (!*owned_)
+    throw std::runtime_error("cannot open for reading: " + path);
+  ReadHeader();
 }
 
-std::vector<AppSpec> ReadTraceCsv(std::istream& in) {
-  std::vector<AppSpec> apps;
+StreamingCsvTraceReader::StreamingCsvTraceReader(std::istream& in,
+                                                 bool require_sorted)
+    : in_(&in), require_sorted_(require_sorted), source_("<stream>") {
+  ReadHeader();
+}
+
+StreamingCsvTraceReader::~StreamingCsvTraceReader() = default;
+
+void StreamingCsvTraceReader::ReadHeader() {
   std::string line;
-  std::size_t line_no = 0;
+  if (!std::getline(*in_, line))
+    throw std::runtime_error("trace csv: empty input (" + source_ + ")");
+  ++line_no_;
+  if (line != kHeader) Fail(line_no_, "unexpected header");
+}
 
-  if (!std::getline(in, line)) throw std::runtime_error("trace csv: empty input");
-  ++line_no;
-  if (line != kHeader) Fail(line_no, "unexpected header");
+bool StreamingCsvTraceReader::Next(AppSpec& out) {
+  if (done_) {
+    if (have_current_) {
+      out = std::move(current_);
+      have_current_ = false;
+      ++apps_read_;
+      return true;
+    }
+    return false;
+  }
 
-  long long current_index = -1;
-  while (std::getline(in, line)) {
-    ++line_no;
+  std::string line;
+  while (std::getline(*in_, line)) {
+    ++line_no_;
     if (line.empty()) continue;
     const auto f = SplitCsvLine(line);
-    if (f.size() != 14) Fail(line_no, "expected 14 fields, got " +
-                                          std::to_string(f.size()));
+    if (f.size() != 14)
+      Fail(line_no_, "expected 14 fields, got " + std::to_string(f.size()));
     try {
       const long long app_index = std::stoll(f[0]);
-      if (app_index != current_index) {
-        if (app_index != current_index + 1)
-          Fail(line_no, "app_index must be contiguous");
-        current_index = app_index;
-        AppSpec app;
-        app.name = f[1];
-        app.arrival = std::stod(f[2]);
-        app.tuner = TunerKindFromString(f[3]);
-        app.target_loss = std::stod(f[4]);
-        apps.push_back(std::move(app));
+      const bool starts_app = app_index != current_index_;
+      AppSpec next_app;
+      if (starts_app) {
+        if (app_index != current_index_ + 1)
+          Fail(line_no_, "app_index must be contiguous (got " +
+                             std::to_string(app_index) + " after " +
+                             std::to_string(current_index_) + ")");
+        next_app.name = f[1];
+        next_app.arrival = std::stod(f[2]);
+        next_app.tuner = TunerKindFromString(f[3]);
+        next_app.target_loss = std::stod(f[4]);
+        if (require_sorted_ && current_index_ >= 0 &&
+            next_app.arrival < last_arrival_) {
+          Fail(line_no_,
+               "streamed trace must be arrival-sorted: app " +
+                   std::to_string(app_index) + " arrives at " + f[2] +
+                   " but app " + std::to_string(current_index_) +
+                   " arrived at " + std::to_string(last_arrival_) +
+                   " (sort the CSV by arrival, or slurp it with "
+                   "ReadTraceCsvFile)");
+        }
       }
       JobSpec job;
       job.num_tasks = std::stoi(f[5]);
@@ -115,18 +151,102 @@ std::vector<AppSpec> ReadTraceCsv(std::istream& in) {
       job.model = ModelByName(f[12]);
       job.max_span = LocalityLevelFromString(f[13]);
       if (job.num_tasks <= 0 || job.gpus_per_task <= 0 || job.total_work <= 0.0)
-        Fail(line_no, "non-positive job shape");
-      apps.back().jobs.push_back(std::move(job));
+        Fail(line_no_, "non-positive job shape");
+
+      if (!starts_app) {
+        current_.jobs.push_back(std::move(job));
+        continue;
+      }
+      current_index_ = app_index;
+      last_arrival_ = next_app.arrival;
+      next_app.jobs.push_back(std::move(job));
+      if (have_current_) {
+        out = std::move(current_);
+        current_ = std::move(next_app);
+        ++apps_read_;
+        return true;
+      }
+      current_ = std::move(next_app);
+      have_current_ = true;
     } catch (const std::runtime_error&) {
       throw;
     } catch (const std::exception& e) {
-      Fail(line_no, e.what());
+      Fail(line_no_, e.what());
     }
   }
-  for (std::size_t i = 0; i < apps.size(); ++i)
-    if (apps[i].jobs.empty())
-      throw std::runtime_error("trace csv: app " + std::to_string(i) +
-                               " has no jobs");
+
+  done_ = true;
+  if (have_current_) {
+    out = std::move(current_);
+    have_current_ = false;
+    ++apps_read_;
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Writers.
+
+StreamingTraceWriter::StreamingTraceWriter(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path)),
+      out_(owned_.get()),
+      source_(path) {
+  if (!*owned_) throw std::runtime_error("cannot open for writing: " + path);
+  *out_ << kHeader << '\n';
+  out_->precision(17);
+}
+
+StreamingTraceWriter::StreamingTraceWriter(std::ostream& out)
+    : out_(&out), source_("<stream>") {
+  *out_ << kHeader << '\n';
+  out_->precision(17);
+}
+
+StreamingTraceWriter::~StreamingTraceWriter() {
+  // Best effort on the owning path; Close() explicitly to surface errors.
+  if (!closed_ && owned_) owned_->close();
+}
+
+void StreamingTraceWriter::Append(const AppSpec& app) {
+  if (closed_)
+    throw std::logic_error("StreamingTraceWriter: Append after Close");
+  WriteAppRows(*out_, app, apps_written_);
+  ++apps_written_;
+  jobs_written_ += app.jobs.size();
+}
+
+void StreamingTraceWriter::Close() {
+  if (closed_) return;
+  closed_ = true;
+  out_->flush();
+  if (!*out_)
+    throw std::runtime_error("trace csv: write failed (" + source_ + ")");
+  if (owned_) owned_->close();
+}
+
+// ---------------------------------------------------------------------------
+// Slurped forms, layered on the streaming ones (so output stays
+// byte-identical between the two paths).
+
+void WriteTraceCsv(std::ostream& out, const std::vector<AppSpec>& apps) {
+  StreamingTraceWriter writer(out);
+  for (const AppSpec& app : apps) writer.Append(app);
+  writer.Close();
+}
+
+void WriteTraceCsvFile(const std::string& path,
+                       const std::vector<AppSpec>& apps) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  WriteTraceCsv(out, apps);
+}
+
+std::vector<AppSpec> ReadTraceCsv(std::istream& in) {
+  StreamingCsvTraceReader reader(in, /*require_sorted=*/false);
+  std::vector<AppSpec> apps;
+  AppSpec app;
+  while (reader.Next(app)) apps.push_back(std::move(app));
   return apps;
 }
 

@@ -278,7 +278,7 @@ TEST(SweepRunner, ParallelMatchesSerialBitExactly) {
                             PolicyKind::kDrf})
     for (std::uint64_t seed : {11ULL, 12ULL})
       specs.push_back({std::string(ToString(policy)), SmallConfig(policy, seed),
-                       ""});
+                       "", ""});
 
   const auto parallel = SweepRunner(/*num_threads=*/4).Run(specs);
   const auto serial = SweepRunner(/*num_threads=*/1).Run(specs);
@@ -298,8 +298,8 @@ TEST(SweepRunner, ParallelMatchesSerialBitExactly) {
 
 TEST(SweepRunner, FailedScenarioReportsErrorWithoutKillingSweep) {
   std::vector<ScenarioSpec> specs;
-  specs.push_back({"ok", SmallConfig(PolicyKind::kThemis, 5), ""});
-  ScenarioSpec bad{"bad", SmallConfig(PolicyKind::kThemis, 5), ""};
+  specs.push_back({"ok", SmallConfig(PolicyKind::kThemis, 5), "", ""});
+  ScenarioSpec bad{"bad", SmallConfig(PolicyKind::kThemis, 5), "", ""};
   bad.trace_csv = "/nonexistent/trace.csv";
   specs.push_back(bad);
   const auto runs = SweepRunner(2).Run(specs);
@@ -317,7 +317,7 @@ TEST(SweepRunner, ReplaysArchivedCsvTrace) {
   const std::string path = ::testing::TempDir() + "/scenario_trace.csv";
   WriteTraceCsvFile(path, gen.Generate());
 
-  ScenarioSpec spec{"replay", cfg, path};
+  ScenarioSpec spec{"replay", cfg, path, ""};
   const auto runs = SweepRunner(1).Run({spec});
   ASSERT_TRUE(runs[0].ok) << runs[0].error;
   const ExperimentResult direct = RunExperiment(cfg);
