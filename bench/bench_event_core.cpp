@@ -1,0 +1,186 @@
+// bench_event_core — event-driven vs pass-stepped main loop at 4096 GPUs.
+//
+// The perf claim behind the discrete-event core: on a bursty, heavily
+// oversubscribed trace (thousands of apps queued behind the cluster, only a
+// few hundred holding GPUs at a time) the event engine's walk sets — holder
+// apps for progress, dirty tuners, reallocated jobs for projections — stay
+// proportional to what actually changed, while the pass-stepped reference
+// re-walks every active app each pass. Both engines run the identical gated
+// event stream (same passes, same rounds, same floats), so wall-clock ratio
+// is a pure per-pass-cost comparison; the bench verifies bit-equality of
+// the headline metrics before reporting the speedup.
+//
+// The workload runs under Tiresias by default, deliberately: the point is
+// to measure the simulator core, so the per-round policy work must be
+// cheap (a priority sort). Themis' branch-and-bound auction dominates
+// wall-clock at this scale (~95% of every pass, see bench_overheads) and
+// would mask the loop comparison entirely; engine equivalence across all
+// five policies is covered by event_core_test, not this bench.
+//
+// Env knobs: $THEMIS_BENCH_EVENT_JOBS caps the trace size (default 20000
+// jobs), $THEMIS_BENCH_EVENT_EPSILON sets the batched run's window
+// (default 3 min), $THEMIS_BENCH_EVENT_POLICY picks the policy. Reports
+// wall seconds per engine, the speedup ratios and the event-core counters
+// into BENCH_event_core.json.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "bench_common.h"
+#include "workload/trace_gen.h"
+#include "workload/trace_io.h"
+
+namespace {
+
+using namespace themis;
+
+/// Stops the stream once `max_jobs` jobs have been injected (same shape as
+/// bench_trace_scale's reader, local copy to keep the benches standalone).
+class JobCappedReader : public TraceReader {
+ public:
+  JobCappedReader(std::unique_ptr<TraceReader> inner, long long max_jobs,
+                  long long* jobs_out)
+      : inner_(std::move(inner)), max_jobs_(max_jobs), jobs_out_(jobs_out) {}
+
+  bool Next(AppSpec& out) override {
+    if (max_jobs_ > 0 && *jobs_out_ >= max_jobs_) return false;
+    if (!inner_->Next(out)) return false;
+    *jobs_out_ += static_cast<long long>(out.jobs.size());
+    return true;
+  }
+
+ private:
+  std::unique_ptr<TraceReader> inner_;
+  long long max_jobs_;
+  long long* jobs_out_;
+};
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return (v && *v) ? std::atof(v) : fallback;
+}
+
+struct EngineRun {
+  ExperimentResult result;
+  double wall_sec = 0.0;
+  long long jobs = 0;
+};
+
+EngineRun RunOnce(const ExperimentConfig& base, const TraceConfig& trace,
+                  long long max_jobs, SimEngine engine, Time epsilon) {
+  ExperimentConfig config = base;
+  config.sim.engine = engine;
+  config.sim.auction_epsilon_minutes = epsilon;
+  EngineRun run;
+  auto reader = std::make_unique<JobCappedReader>(
+      std::make_unique<GeneratorTraceReader>(trace), max_jobs, &run.jobs);
+  const auto t0 = std::chrono::steady_clock::now();
+  run.result = RunStreamingExperiment(config, std::move(reader));
+  run.wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return run;
+}
+
+bool SameHeadline(const ExperimentResult& a, const ExperimentResult& b) {
+  return a.max_fairness == b.max_fairness && a.jains_index == b.jains_index &&
+         a.avg_completion_time == b.avg_completion_time &&
+         a.gpu_time == b.gpu_time && a.unfinished_apps == b.unfinished_apps &&
+         a.scheduling_passes == b.scheduling_passes &&
+         a.events_processed == b.events_processed &&
+         a.rounds_executed == b.rounds_executed &&
+         a.finished_apps == b.finished_apps && a.rhos == b.rhos;
+}
+
+}  // namespace
+
+int main() {
+  const long long max_jobs =
+      static_cast<long long>(EnvDouble("THEMIS_BENCH_EVENT_JOBS", 20000));
+  const Time epsilon = EnvDouble("THEMIS_BENCH_EVENT_EPSILON", 3.0);
+
+  const char* policy_name = std::getenv("THEMIS_BENCH_EVENT_POLICY");
+  ExperimentConfig config;
+  // 8 racks x 64 machines x 8 GPUs = 4096 GPUs.
+  config.cluster = ClusterSpec::Uniform(8, 64, 8, 4);
+  config.policy = PolicyKindFromString(
+      (policy_name && *policy_name) ? policy_name : "tiresias");
+  config.sim.seed = 42;
+  config.sim.metrics.bounded_memory = true;
+
+  // Bursty oversubscription: whole waves of many-job apps land at once
+  // (trace_gen --bursty 600:4000), so hundreds of apps are active while
+  // the 4096 GPUs can hold only a fraction of them — the regime where the
+  // active-set walk is almost all waste.
+  TraceConfig trace;
+  trace.seed = 42;
+  trace.num_apps = 1 << 30;  // the job cap ends the run
+  trace.burst_size = 5000;
+  trace.burst_gap_minutes = 4000.0;
+  // Small apps (few exploration jobs each) so the 20k-job budget yields
+  // thousands of simultaneously-active apps — far more than the ~1.3k
+  // gangs the cluster can hold, which is what makes the full active-set
+  // walk mostly waste.
+  trace.jobs_per_app_median = 3.0;
+  trace.jobs_per_app_max = 8;
+
+  const EngineRun pass =
+      RunOnce(config, trace, max_jobs, SimEngine::kPassStepped, 0.0);
+  const EngineRun event =
+      RunOnce(config, trace, max_jobs, SimEngine::kEventDriven, 0.0);
+  const EngineRun batched =
+      RunOnce(config, trace, max_jobs, SimEngine::kEventDriven, epsilon);
+
+  if (!SameHeadline(pass.result, event.result)) {
+    std::fprintf(stderr,
+                 "bench: event engine diverged from pass-stepped reference\n");
+    return 1;
+  }
+
+  const double speedup =
+      event.wall_sec > 0.0 ? pass.wall_sec / event.wall_sec : 0.0;
+  const double speedup_batched =
+      batched.wall_sec > 0.0 ? pass.wall_sec / batched.wall_sec : 0.0;
+
+  std::printf("event core: 4096 GPUs, bursty stream (%lld jobs, %zu apps)\n",
+              event.jobs, event.result.total_apps);
+  std::printf("%-22s %12.2f\n", "pass-stepped wall s", pass.wall_sec);
+  std::printf("%-22s %12.2f\n", "event-driven wall s", event.wall_sec);
+  std::printf("%-22s %12.2f\n", "event eps-batched s", batched.wall_sec);
+  std::printf("%-22s %12.2f\n", "speedup (exact)", speedup);
+  std::printf("%-22s %12.2f\n", "speedup (eps batch)", speedup_batched);
+  std::printf("%-22s %12d\n", "passes", event.result.scheduling_passes);
+  std::printf("%-22s %12d\n", "passes (eps batch)",
+              batched.result.scheduling_passes);
+  std::printf("%-22s %12lld\n", "events", event.result.events_processed);
+  std::printf("%-22s %12lld\n", "rounds", event.result.rounds_executed);
+  std::printf("%-22s %12lld\n", "time advances",
+              event.result.sim_time_advances);
+  std::printf("%-22s %12d\n", "unfinished", event.result.unfinished_apps);
+
+  themis::bench::BenchReport report("event_core");
+  report.Config("gpus", 4096.0);
+  report.Config("jobs", static_cast<double>(max_jobs));
+  report.Config("burst_size", static_cast<double>(trace.burst_size));
+  report.Config("burst_gap_minutes", trace.burst_gap_minutes);
+  report.Config("epsilon_minutes", epsilon);
+  report.Metric("jobs", static_cast<double>(event.jobs));
+  report.Metric("apps", static_cast<double>(event.result.total_apps));
+  report.Metric("wall_sec_pass", pass.wall_sec);
+  report.Metric("wall_sec_event", event.wall_sec);
+  report.Metric("wall_sec_event_batched", batched.wall_sec);
+  report.Metric("speedup", speedup);
+  report.Metric("speedup_batched", speedup_batched);
+  report.Metric("passes", event.result.scheduling_passes);
+  report.Metric("passes_batched", batched.result.scheduling_passes);
+  report.Metric("events_processed", event.result.events_processed);
+  report.Metric("rounds_executed", event.result.rounds_executed);
+  report.Metric("sim_time_advances", event.result.sim_time_advances);
+  report.Metric("unfinished", event.result.unfinished_apps);
+  report.Metric("peak_live_apps",
+                static_cast<double>(event.result.peak_live_apps));
+  report.Write();
+
+  return event.result.unfinished_apps == 0 ? 0 : 1;
+}

@@ -51,10 +51,14 @@ int main() {
   std::printf("=== Figure 8: timeline of GPU allocations ===\n");
   std::printf("%10s %12s %12s %12s %12s\n", "time(min)", "long(app0)",
               "short(app1)", "app2", "app3");
-  // Collapse timeline samples into rows per pass time.
+  // Collapse timeline samples into rows per pass time. The timeline records
+  // changes only, so holdings forward-fill across rows until the next sample
+  // for that app.
   std::map<double, std::map<AppId, int>> rows;
   for (const AllocationSample& s : r.timeline) rows[s.time][s.app] = s.gpus;
-  for (const auto& [time, held] : rows) {
+  std::map<AppId, int> held;
+  for (const auto& [time, changes] : rows) {
+    for (const auto& [app, gpus] : changes) held[app] = gpus;
     auto get = [&](AppId id) {
       auto it = held.find(id);
       return it == held.end() ? 0 : it->second;

@@ -59,6 +59,7 @@ using namespace themis;
                "          [--sensitive FRAC] [--trace-out FILE]\n"
                "          [--trace-in FILE] [--cdf]\n"
                "          [--stream-trace FILE] [--bounded-metrics]\n"
+               "          [--engine event|pass] [--epsilon MIN]\n"
                "          [--shards N] [--threads N]\n"
                "          [--sweep SCENARIOS.json] [--csv FILE]\n",
                argv0);
@@ -221,6 +222,18 @@ int main(int argc, char** argv) {
     else if (arg == "--trace-out") trace_out = next();
     else if (arg == "--stream-trace") stream_trace = next();
     else if (arg == "--bounded-metrics") config.sim.metrics.bounded_memory = true;
+    else if (arg == "--engine") {
+      const std::string name = next();
+      if (name == "event") config.sim.engine = SimEngine::kEventDriven;
+      else if (name == "pass") config.sim.engine = SimEngine::kPassStepped;
+      else {
+        std::fprintf(stderr, "--engine must be event or pass (got %s)\n",
+                     name.c_str());
+        return 2;
+      }
+    }
+    else if (arg == "--epsilon")
+      config.sim.auction_epsilon_minutes = std::atof(next().c_str());
     else if (arg == "--cdf") print_cdf = true;
     else if (arg == "--sweep") sweep_file = next();
     else if (arg == "--csv") csv_file = next();
@@ -287,6 +300,10 @@ int main(int argc, char** argv) {
     std::printf("Jain's index     : %.3f\n", r.jains_index);
     std::printf("avg ACT          : %.1f min\n", r.avg_completion_time);
     std::printf("GPU time         : %.0f GPU-min\n", r.gpu_time);
+    std::printf("event core       : %lld events, %lld rounds in %d passes, "
+                "%lld time advances\n",
+                r.events_processed, r.rounds_executed, r.scheduling_passes,
+                r.sim_time_advances);
     if (r.machine_failures > 0)
       std::printf("machine failures : %d\n", r.machine_failures);
     if (print_cdf)
@@ -312,7 +329,13 @@ int main(int argc, char** argv) {
     return RunSharded(config, std::move(apps), shards, sweep_threads,
                       print_cdf);
 
-  const ExperimentResult r = RunExperimentWithApps(config, apps);
+  ExperimentResult r;
+  try {
+    r = RunExperimentWithApps(config, apps);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
 
   std::printf("policy           : %s\n", r.policy_name.c_str());
   std::printf("apps finished    : %zu (%d unfinished)\n", r.rhos.size(),
@@ -323,6 +346,10 @@ int main(int argc, char** argv) {
   std::printf("Jain's index     : %.3f\n", r.jains_index);
   std::printf("avg ACT          : %.1f min\n", r.avg_completion_time);
   std::printf("GPU time         : %.0f GPU-min\n", r.gpu_time);
+  std::printf("event core       : %lld events, %lld rounds in %d passes, "
+              "%lld time advances\n",
+              r.events_processed, r.rounds_executed, r.scheduling_passes,
+              r.sim_time_advances);
   if (r.machine_failures > 0)
     std::printf("machine failures : %d\n", r.machine_failures);
   if (print_cdf) {

@@ -26,9 +26,29 @@ using namespace themis;
   std::fprintf(stderr,
                "usage: %s --stream-out FILE [--apps N] [--jobs N]\n"
                "          [--seed S] [--contention C] [--interarrival MIN]\n"
-               "          [--sensitive FRAC]\n",
+               "          [--sensitive FRAC] [--bursty N:GAP]\n"
+               "\n"
+               "  --bursty N:GAP  arrivals come in same-instant bursts of N\n"
+               "                  apps, bursts GAP minutes apart (replaces\n"
+               "                  the Poisson arrival model) — the sparse\n"
+               "                  shape the event-driven sim core targets\n",
                argv0);
   std::exit(2);
+}
+
+/// Parse "N:GAP" into the burst knobs; exits with usage on malformed input.
+void ParseBursty(const std::string& spec, const char* argv0,
+                 TraceConfig& config) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size())
+    Usage(argv0);
+  config.burst_size = std::atoi(spec.substr(0, colon).c_str());
+  config.burst_gap_minutes = std::atof(spec.substr(colon + 1).c_str());
+  if (config.burst_size <= 0 || config.burst_gap_minutes < 0.0) {
+    std::fprintf(stderr, "--bursty needs N > 0 and GAP >= 0 (got %s)\n",
+                 spec.c_str());
+    std::exit(2);
+  }
 }
 
 }  // namespace
@@ -55,6 +75,7 @@ int main(int argc, char** argv) {
       config.mean_interarrival = std::atof(next().c_str());
     else if (arg == "--sensitive")
       config.frac_network_intensive = std::atof(next().c_str());
+    else if (arg == "--bursty") ParseBursty(next(), argv[0], config);
     else if (arg == "--help" || arg == "-h") Usage(argv[0]);
     else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());

@@ -86,9 +86,25 @@ class Cluster {
   /// an auction.
   std::vector<GpuId> ExpiredGpus(Time now) const;
 
+  /// True when at least one lease has expired at or before `t` — the O(1)
+  /// staleness probe for lease-tick events: a tick with nothing expired
+  /// advances time but demands no scheduling pass.
+  bool HasExpiredLease(Time t) const {
+    return !expiries_.empty() && expiries_.begin()->first <= t;
+  }
+
   /// Earliest lease expiry strictly after `t`; kInfiniteTime when no lease
   /// expires later. Drives the simulator's next lease tick without scanning.
   Time NextExpiryAfter(Time t) const;
+
+  /// Latest lease expiry at or before `t`; -kInfiniteTime when none. The
+  /// epsilon-batched auction jumps to this instant so every lease expiring
+  /// within the window is reclaimed by one pass.
+  Time LatestExpiryAtOrBefore(Time t) const {
+    auto it = expiries_.upper_bound({t, std::numeric_limits<GpuId>::max()});
+    if (it == expiries_.begin()) return -kInfiniteTime;
+    return std::prev(it)->first;
+  }
 
   /// Extend the lease on a GPU already held by `app` (lease renewal when an
   /// app wins back its own GPUs).

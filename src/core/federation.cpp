@@ -253,6 +253,9 @@ FederationResult ShardedArbiter::Run(const ExperimentConfig& config,
     merged.unfinished_apps += r.unfinished_apps;
     merged.machine_failures += r.machine_failures;
     merged.scheduling_passes += r.scheduling_passes;
+    merged.events_processed += r.events_processed;
+    merged.rounds_executed += r.rounds_executed;
+    merged.sim_time_advances += r.sim_time_advances;
     merged.gpu_time += r.gpu_time;
     merged.peak_contention = std::max(merged.peak_contention,
                                       r.peak_contention);

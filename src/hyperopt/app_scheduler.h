@@ -43,8 +43,12 @@ class IAppScheduler {
 
   /// Observe progress and emit decisions. Invoked by the simulator at every
   /// auction epoch (the cadence at which checkpointed loss values would be
-  /// re-read from logs in the paper's profiler).
-  virtual TunerDecision Step(const std::vector<JobView>& jobs, Time now) = 0;
+  /// re-read from logs in the paper's profiler). The returned reference is
+  /// owned by the scheduler and valid until its next Step — the simulator
+  /// steps thousands of tuners per pass, so decisions reuse one buffer per
+  /// tuner instead of allocating per call.
+  virtual const TunerDecision& Step(const std::vector<JobView>& jobs,
+                                    Time now) = 0;
 
   virtual const char* name() const = 0;
 };

@@ -11,15 +11,19 @@ namespace {
 class SingleJobScheduler final : public IAppScheduler {
  public:
   void Init(const AppSpec& /*app*/) override {}
-  TunerDecision Step(const std::vector<JobView>& jobs, Time /*now*/) override {
-    TunerDecision d;
-    d.parallelism_cap.resize(jobs.size(), 0);
+  const TunerDecision& Step(const std::vector<JobView>& jobs,
+                            Time /*now*/) override {
+    decision_.kill.clear();
+    decision_.parallelism_cap.assign(jobs.size(), 0);
     for (std::size_t i = 0; i < jobs.size(); ++i)
       if (jobs[i].alive && !jobs[i].finished)
-        d.parallelism_cap[i] = jobs[i].spec->MaxParallelism();
-    return d;
+        decision_.parallelism_cap[i] = jobs[i].spec->MaxParallelism();
+    return decision_;
   }
   const char* name() const override { return "SingleJob"; }
+
+ private:
+  TunerDecision decision_;
 };
 
 }  // namespace

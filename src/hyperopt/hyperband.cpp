@@ -23,26 +23,26 @@ double HyperBand::RungBudget(int rung) const {
   return base_ * std::pow(config_.eta, rung);
 }
 
-TunerDecision HyperBand::Step(const std::vector<JobView>& jobs, Time /*now*/) {
-  TunerDecision decision;
-  decision.parallelism_cap.resize(jobs.size(), 0);
+const TunerDecision& HyperBand::Step(const std::vector<JobView>& jobs,
+                                     Time /*now*/) {
+  decision_.kill.clear();
+  decision_.parallelism_cap.assign(jobs.size(), 0);
 
   // Equal priority: every alive job may use its full parallelism (Sec. 5.2:
   // "user-configured equal priority i.e. equal G_ideal").
-  std::vector<int> alive;
+  alive_.clear();
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (jobs[i].alive && !jobs[i].finished) {
-      decision.parallelism_cap[i] = jobs[i].spec->MaxParallelism();
-      alive.push_back(static_cast<int>(i));
+      decision_.parallelism_cap[i] = jobs[i].spec->MaxParallelism();
+      alive_.push_back(static_cast<int>(i));
     }
   }
-  if (alive.size() <= 1) return decision;
 
   // Advance through any rungs whose budget every alive job has met.
-  while (alive.size() > 1) {
+  while (alive_.size() > 1) {
     const double budget = RungBudget(rung_);
     bool all_reached = true;
-    for (int i : alive)
+    for (int i : alive_)
       if (jobs[i].done_iterations < budget) {
         all_reached = false;
         break;
@@ -51,19 +51,19 @@ TunerDecision HyperBand::Step(const std::vector<JobView>& jobs, Time /*now*/) {
 
     // Rank by loss at the rung budget; kill the worse half (rounded down so
     // at least one job always survives).
-    std::vector<int> ranked = alive;
+    std::vector<int> ranked = alive_;
     std::stable_sort(ranked.begin(), ranked.end(), [&](int a, int b) {
       return jobs[a].spec->loss.LossAt(budget) < jobs[b].spec->loss.LossAt(budget);
     });
     const std::size_t keep = (ranked.size() + 1) / 2;
     for (std::size_t k = keep; k < ranked.size(); ++k) {
-      decision.kill.push_back(ranked[k]);
-      decision.parallelism_cap[ranked[k]] = 0;
+      decision_.kill.push_back(ranked[k]);
+      decision_.parallelism_cap[ranked[k]] = 0;
     }
-    alive.assign(ranked.begin(), ranked.begin() + static_cast<long>(keep));
+    alive_.assign(ranked.begin(), ranked.begin() + static_cast<long>(keep));
     ++rung_;
   }
-  return decision;
+  return decision_;
 }
 
 }  // namespace themis

@@ -26,7 +26,8 @@ class HyperBand final : public IAppScheduler {
   explicit HyperBand(HyperBandConfig config = {});
 
   void Init(const AppSpec& app) override;
-  TunerDecision Step(const std::vector<JobView>& jobs, Time now) override;
+  const TunerDecision& Step(const std::vector<JobView>& jobs,
+                            Time now) override;
   const char* name() const override { return "HyperBand"; }
 
   int current_rung() const { return rung_; }
@@ -36,6 +37,9 @@ class HyperBand final : public IAppScheduler {
   HyperBandConfig config_;
   double base_ = 1.0;
   int rung_ = 0;
+  /// Reused across Steps (see IAppScheduler::Step).
+  TunerDecision decision_;
+  std::vector<int> alive_;
 };
 
 }  // namespace themis

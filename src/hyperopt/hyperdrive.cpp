@@ -23,58 +23,59 @@ double HyperDrive::ProjectTotalIterations(const JobView& job) const {
   return pred.value_or(job.spec->total_iterations);
 }
 
-TunerDecision HyperDrive::Step(const std::vector<JobView>& jobs, Time /*now*/) {
-  TunerDecision decision;
-  decision.parallelism_cap.resize(jobs.size(), 0);
+const TunerDecision& HyperDrive::Step(const std::vector<JobView>& jobs,
+                                      Time /*now*/) {
+  decision_.kill.clear();
+  decision_.parallelism_cap.assign(jobs.size(), 0);
 
-  std::vector<int> alive;
+  alive_.clear();
   for (std::size_t i = 0; i < jobs.size(); ++i)
-    if (jobs[i].alive && !jobs[i].finished) alive.push_back(static_cast<int>(i));
+    if (jobs[i].alive && !jobs[i].finished) alive_.push_back(static_cast<int>(i));
 
   // Warmup: every alive job runs at full parallelism until it has produced
   // enough loss samples to classify.
-  std::vector<double> projection(jobs.size(), 0.0);
+  projection_.assign(jobs.size(), 0.0);
   double best = std::numeric_limits<double>::infinity();
   bool any_classified = false;
-  for (int i : alive) {
+  for (int i : alive_) {
     if (jobs[i].done_iterations < config_.warmup_iterations) continue;
-    projection[i] = ProjectTotalIterations(jobs[i]);
-    best = std::min(best, projection[i]);
+    projection_[i] = ProjectTotalIterations(jobs[i]);
+    best = std::min(best, projection_[i]);
     any_classified = true;
   }
 
-  for (int i : alive) {
+  for (int i : alive_) {
     const int max_par = jobs[i].spec->MaxParallelism();
     if (!any_classified || jobs[i].done_iterations < config_.warmup_iterations) {
-      decision.parallelism_cap[i] = max_par;
+      decision_.parallelism_cap[i] = max_par;
       continue;
     }
-    const double ratio = projection[i] / best;
-    if (ratio > config_.poor_ratio && alive.size() > 1) {
-      decision.kill.push_back(i);
-      decision.parallelism_cap[i] = 0;
+    const double ratio = projection_[i] / best;
+    if (ratio > config_.poor_ratio && alive_.size() > 1) {
+      decision_.kill.push_back(i);
+      decision_.parallelism_cap[i] = 0;
     } else if (ratio > config_.good_ratio) {
       // Promising: reduced parallelism, but never below one task's gang.
       const int reduced = static_cast<int>(
           std::ceil(max_par * config_.promising_parallelism));
-      decision.parallelism_cap[i] =
+      decision_.parallelism_cap[i] =
           std::max(jobs[i].spec->gpus_per_task,
                    reduced - reduced % jobs[i].spec->gpus_per_task);
     } else {
-      decision.parallelism_cap[i] = max_par;  // good
+      decision_.parallelism_cap[i] = max_par;  // good
     }
   }
   // Never kill every job: if all were classified poor, spare the best one.
-  if (!alive.empty() && decision.kill.size() == alive.size()) {
-    int best_idx = alive.front();
-    for (int i : alive)
-      if (projection[i] < projection[best_idx]) best_idx = i;
-    decision.kill.erase(
-        std::remove(decision.kill.begin(), decision.kill.end(), best_idx),
-        decision.kill.end());
-    decision.parallelism_cap[best_idx] = jobs[best_idx].spec->MaxParallelism();
+  if (!alive_.empty() && decision_.kill.size() == alive_.size()) {
+    int best_idx = alive_.front();
+    for (int i : alive_)
+      if (projection_[i] < projection_[best_idx]) best_idx = i;
+    decision_.kill.erase(
+        std::remove(decision_.kill.begin(), decision_.kill.end(), best_idx),
+        decision_.kill.end());
+    decision_.parallelism_cap[best_idx] = jobs[best_idx].spec->MaxParallelism();
   }
-  return decision;
+  return decision_;
 }
 
 }  // namespace themis

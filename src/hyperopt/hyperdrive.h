@@ -32,7 +32,8 @@ class HyperDrive final : public IAppScheduler {
   explicit HyperDrive(HyperDriveConfig config = {});
 
   void Init(const AppSpec& app) override;
-  TunerDecision Step(const std::vector<JobView>& jobs, Time now) override;
+  const TunerDecision& Step(const std::vector<JobView>& jobs,
+                            Time now) override;
   const char* name() const override { return "HyperDrive"; }
 
  private:
@@ -42,6 +43,10 @@ class HyperDrive final : public IAppScheduler {
 
   HyperDriveConfig config_;
   double target_loss_ = 0.1;
+  /// Reused across Steps (see IAppScheduler::Step).
+  TunerDecision decision_;
+  std::vector<int> alive_;
+  std::vector<double> projection_;
 };
 
 }  // namespace themis

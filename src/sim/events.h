@@ -16,6 +16,7 @@ enum class EventType {
   kJobFinish,       // a job is projected to reach its target at this time
   kMachineFail,     // a machine's failure domain trips (Sec. 6)
   kMachineRepair,   // a failed machine returns to service
+  kMetricsTick,     // periodic allocation-timeline sample; never runs a round
 };
 
 struct Event {

@@ -73,6 +73,9 @@ ExperimentResult Summarize(const ExperimentConfig& config, SimResult run) {
   result.unfinished_apps = static_cast<int>(run.unfinished.size());
   result.machine_failures = run.machine_failures;
   result.scheduling_passes = run.scheduling_passes;
+  result.events_processed = run.events_processed;
+  result.rounds_executed = run.rounds_executed;
+  result.sim_time_advances = run.sim_time_advances;
   // Metric records accumulate in finish order; expose the per-app vectors in
   // AppId (== submission) order so callers can label them.
   std::vector<AppRecord> records = run.metrics.apps();

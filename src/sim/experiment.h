@@ -43,6 +43,12 @@ struct ExperimentResult {
   int unfinished_apps = 0;
   int machine_failures = 0;
   int scheduling_passes = 0;
+  /// Event-core efficiency counters (see SimResult); summed across shards
+  /// by the federation layer. Not part of SweepCsv, whose columns are
+  /// pinned.
+  long long events_processed = 0;
+  long long rounds_executed = 0;
+  long long sim_time_advances = 0;
   /// AppIds of the finished apps, aligned index-for-index with the per-app
   /// vectors below (unfinished apps have no record); ascending. The
   /// federation layer uses these to stitch shard results back into global

@@ -169,7 +169,22 @@ void ApplyTrace(const JsonValue& v, TraceConfig& trace) {
 void ApplySim(const JsonValue& v, SimConfig& sim) {
   CheckKeys(v, "sim",
             {"seed", "lease_minutes", "restart_overhead_minutes", "max_time",
-             "machine_mtbf_minutes", "machine_repair_minutes", "theta"});
+             "machine_mtbf_minutes", "machine_repair_minutes", "theta",
+             "engine", "auction_epsilon_minutes", "metrics_tick_minutes"});
+  if (const JsonValue* engine = v.Find("engine")) {
+    const std::string name = engine->AsString();
+    if (name == "event")
+      sim.engine = SimEngine::kEventDriven;
+    else if (name == "pass")
+      sim.engine = SimEngine::kPassStepped;
+    else
+      throw std::runtime_error("scenario sim.engine must be \"event\" or "
+                               "\"pass\" (got \"" + name + "\")");
+  }
+  sim.auction_epsilon_minutes =
+      v.NumberOr("auction_epsilon_minutes", sim.auction_epsilon_minutes);
+  sim.metrics_tick_minutes =
+      v.NumberOr("metrics_tick_minutes", sim.metrics_tick_minutes);
   // See ApplyTrace: never round-trip the default seed through a double.
   if (const JsonValue* seed = v.Find("seed"))
     sim.seed = SeedFromJson(*seed, "sim");

@@ -37,6 +37,20 @@
 
 namespace themis {
 
+/// Which main-loop implementation drives the run. Both are discrete-event
+/// engines over the same typed queue and produce bit-identical results
+/// (same events, same rounds, same floats); they differ only in per-pass
+/// cost. kEventDriven touches only state the event stream implicates
+/// (holder apps, dirty tuners, reallocated jobs) and pins one finish
+/// projection per allocation epoch; kPassStepped is the brute-force
+/// reference that re-walks every active app and re-derives every running
+/// job's finish from its granted rate each pass — the per-pass resweep
+/// the analytic projections remove (bench_event_core quantifies the gap).
+enum class SimEngine {
+  kEventDriven,
+  kPassStepped,
+};
+
 struct SimConfig {
   /// GPU lease duration (Sec. 8.2's sensitivity knob; default 20 min).
   Time lease_minutes = 20.0;
@@ -68,6 +82,23 @@ struct SimConfig {
   /// Metrics memory mode (exact by default; see MetricsConfig).
   MetricsConfig metrics;
 
+  /// Main-loop implementation (see SimEngine).
+  SimEngine engine = SimEngine::kEventDriven;
+  /// Epsilon-batched auction rounds (event engine only): when a lease tick
+  /// fires, every lease expiring within this window is reclaimed by that
+  /// one scheduling pass, run at the latest such expiry instant — one
+  /// larger ResourceOffer instead of several slivers. Merged leases
+  /// effectively run up to epsilon longer; the batch never reaches past a
+  /// queued event or a pending streamed arrival. 0 disables coalescing;
+  /// > 0 requires the event-driven engine (it deliberately trades
+  /// bit-exactness against the pass-stepped reference for fewer rounds).
+  Time auction_epsilon_minutes = 0.0;
+  /// When > 0, kMetricsTick events sample every active app's held-GPU
+  /// count into the allocation timeline at this period (the timeline
+  /// otherwise records changes only). Ticks are armed while apps are live
+  /// and never span idle stretches, so sparse traces still jump gaps.
+  Time metrics_tick_minutes = 0.0;
+
   /// Reject configurations that would silently produce nonsense runs
   /// (non-positive lease, negative overhead, ...). Throws
   /// std::invalid_argument naming the offending knob; called by the
@@ -88,6 +119,14 @@ struct SimResult {
   /// Failure-injection accounting.
   int machine_failures = 0;
   int gpu_leases_revoked_by_failures = 0;
+  /// Event-vs-pass efficiency counters: typed events popped off the queue,
+  /// ARBITER rounds actually run (RunRound invocations; a pass skips its
+  /// round when the free pool or active set is empty), and distinct
+  /// virtual-time advances. With auction_epsilon_minutes = 0 both engines
+  /// process identical event streams, so all three match bit-for-bit.
+  long long events_processed = 0;
+  long long rounds_executed = 0;
+  long long sim_time_advances = 0;
   /// Apps seen end to end (streamed or preloaded; includes unfinished).
   std::size_t total_apps = 0;
   /// Peak simultaneously-resident AppStates. Equals total_apps unless
@@ -130,12 +169,33 @@ class Simulator {
   void FinishJob(Time t, AppState& app, JobState& job);
   void FinishApp(Time t, AppState& app);
   void KillJob(AppState& app, JobState& job);
-  void RescheduleFinishEvents(Time t);
+  /// Project `job`'s analytic finish time from its granted rate and push
+  /// the kJobFinish event — at most once per allocation epoch (see
+  /// JobState::finish_projected_version). Event engine only; the
+  /// pass-stepped reference re-derives projections inline every pass with
+  /// the same arithmetic and the same push gate (SchedulingPass step 5),
+  /// so the two must stay in sync.
+  void MaybeScheduleFinish(Time t, AppState& app, JobState& job);
+  /// Run one app's tuner step (kills, caps) and fold its capped-demand
+  /// delta into the maintained contention sum.
+  void StepTuner(Time t, AppState& app);
   void PushLeaseTick(Time t);
+  /// Arm / re-arm the periodic metrics tick (no-op when disabled).
+  void ArmMetricsTick(Time t);
   AppState* FindApp(AppId id);
   /// Maintain the active-app set (arrived && !finished, ascending AppId).
   void ActivateApp(AppState* app);
   void DeactivateApp(AppId id);
+  /// Re-derive `app`'s membership in the holder set (apps with at least one
+  /// leased GPU) after any gang mutation. The event engine advances
+  /// progress over holders only; non-holders contribute nothing.
+  void UpdateHolding(AppState* app);
+  /// Flag `app` for the next tuner walk (event engine) — its views may
+  /// have changed since its last Step.
+  void MarkTunerDirty(AppState* app);
+  /// Note that `app`'s held-GPU count may have changed this pass, so the
+  /// event engine's timeline walk must examine it.
+  void TouchAlloc(AppId id);
 
   /// Build the AppState for `spec`, assign it the next AppId, and enqueue
   /// its arrival event. Shared by the preloading constructor and the
@@ -155,10 +215,24 @@ class Simulator {
   /// entries are nulled, and the deque front is popped as it nulls out.
   std::deque<std::unique_ptr<AppState>> apps_;
   AppId apps_base_ = 0;
-  /// Apps that arrived and have not finished, sorted by AppId. Every
-  /// per-pass walk (progress advance, tuner step, finish-event rescheduling)
-  /// iterates this set instead of rescanning apps_.
+  /// Apps that arrived and have not finished, sorted by AppId. The
+  /// pass-stepped engine walks this set every pass; the event engine only
+  /// consults it for rounds (policies see all active apps either way).
   AppList active_apps_;
+  /// Active apps holding at least one leased GPU, sorted by AppId — the
+  /// event engine's progress-advance walk. Maintained by UpdateHolding at
+  /// every gang mutation site (grant, reclaim, kill, finish, failure).
+  AppList holding_apps_;
+  /// Apps whose tuner views may have changed since their last Step
+  /// (AppState::tuner_dirty guards duplicates); sorted+resolved per pass.
+  std::vector<AppId> tuner_dirty_apps_;
+  /// Apps whose held-GPU count may have changed before/outside the current
+  /// pass (arrivals, failure revocations, tuner kills); consumed by the
+  /// pass's timeline + finish-projection walks.
+  std::vector<AppId> alloc_touched_apps_;
+  /// Scratch JobView buffer reused across StepTuner calls (one allocation
+  /// for the whole run instead of one per app per pass).
+  std::vector<JobView> views_scratch_;
   std::unique_ptr<IRoundScheduler> scheduler_;
   RoundObserver round_observer_;
   SimConfig config_;
@@ -171,6 +245,14 @@ class Simulator {
   int passes_ = 0;
   int finished_apps_ = 0;
   double peak_contention_ = 0.0;
+  /// Sum over active apps of CapDemand(), maintained incrementally
+  /// (integer deltas, so it equals the brute-force resum bit-for-bit).
+  long long total_cap_demand_ = 0;
+  bool event_mode_ = true;
+  long long events_processed_ = 0;
+  long long rounds_executed_ = 0;
+  long long time_advances_ = 0;
+  bool metrics_tick_armed_ = false;
   Rng failure_rng_{0xFA11};
   int machine_failures_ = 0;
   int leases_revoked_by_failures_ = 0;

@@ -16,6 +16,12 @@ double JobState::Rate(const Topology& topo) const {
   return EffectiveJobRate(spec, used, topo);
 }
 
+void JobState::RefreshRateCache(const Topology& topo) {
+  rate_cache_version = alloc_version;
+  cached_rate = Rate(topo);
+  cached_speed_sum = topo.SpeedSum(gpus);
+}
+
 int JobState::UnmetGangs() const {
   if (!alive || finished) return 0;
   const int cap = std::min(parallelism_cap, spec.MaxParallelism());
@@ -63,10 +69,15 @@ int AppState::UnmetDemand() const {
 
 std::vector<JobView> AppState::Views() const {
   std::vector<JobView> views;
-  views.reserve(jobs.size());
-  for (const JobState& j : jobs)
-    views.push_back(JobView{&j.spec, j.DoneIterations(), j.alive, j.finished});
+  Views(views);
   return views;
+}
+
+void AppState::Views(std::vector<JobView>& out) const {
+  out.clear();
+  out.reserve(jobs.size());
+  for (const JobState& j : jobs)
+    out.push_back(JobView{&j.spec, j.DoneIterations(), j.alive, j.finished});
 }
 
 }  // namespace themis

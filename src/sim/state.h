@@ -37,14 +37,42 @@ struct JobState {
   int parallelism_cap = 0;
   /// Bumped on every allocation change; stale finish events carry old values.
   std::uint64_t alloc_version = 0;
+  /// The alloc_version a finish projection was last made for. A projection
+  /// is made at most once per allocation epoch: the finish time is analytic
+  /// in the granted rate, so recomputing it every pass would only produce
+  /// ulp-shifted duplicates of the same instant. ~0 = never projected.
+  std::uint64_t finish_projected_version = ~0ull;
   /// Total GPU-minutes consumed (Tiresias' "attained service").
   Work attained_service = 0.0;
+
+  /// Per-epoch cache of the gang-derived constants (progress rate, gang
+  /// speed sum). Within one allocation epoch the gang is fixed, so both
+  /// are fixed too: the event engine computes them once per epoch and
+  /// reuses them at every time advance, while the pass-stepped reference
+  /// re-derives them on each call exactly as the seed loop did. The cache
+  /// holds the same pure functions of (gang, topology), so reuse is
+  /// bitwise-neutral. Valid only between scheduling passes: a pass may
+  /// mutate the gang before bumping alloc_version, so mid-pass readers
+  /// must use Rate()/SpeedSum directly.
+  std::uint64_t rate_cache_version = ~0ull;
+  double cached_rate = 0.0;
+  double cached_speed_sum = 0.0;
 
   bool Running() const { return alive && !finished && !gpus.empty(); }
   Work RemainingWork() const { return std::max(0.0, spec.total_work - done); }
   double DoneIterations() const { return done / spec.WorkPerIteration(); }
   /// Progress rate |G| * S given the topology; 0 when not running.
   double Rate(const Topology& topo) const;
+  /// Rate()/SpeedSum through the per-epoch cache (see above).
+  double CachedRate(const Topology& topo) {
+    if (rate_cache_version != alloc_version) RefreshRateCache(topo);
+    return cached_rate;
+  }
+  double CachedSpeedSum(const Topology& topo) {
+    if (rate_cache_version != alloc_version) RefreshRateCache(topo);
+    return cached_speed_sum;
+  }
+  void RefreshRateCache(const Topology& topo);
   /// Additional whole gangs this job can still use.
   int UnmetGangs() const;
 };
@@ -65,6 +93,15 @@ struct AppState {
   Summary placement_scores;
   /// Cached fairness estimate from the last ARBITER probe (diagnostics).
   double last_rho = kUnboundedRho;
+  /// Scratch for the simulator's event-driven core: set when this app's
+  /// tuner views may have changed since its last Step (arrival or progress).
+  bool tuner_dirty = false;
+  /// CapDemand() as of the last tuner step — the simulator's maintained
+  /// contention sum is adjusted by deltas against this.
+  long long cached_cap_demand = 0;
+  /// Last held-GPU count recorded to the allocation timeline (-1 = never):
+  /// the simulator samples the timeline on change, not on every pass.
+  int last_recorded_held = -1;
 
   Time arrival() const { return spec.arrival; }
   /// Finish-time fairness realized at completion: (finish - arrival) / T_ID.
@@ -84,6 +121,9 @@ struct AppState {
 
   /// JobView vector for the tuner.
   std::vector<JobView> Views() const;
+  /// Same, filling `out` in place — the simulator's tuner walk reuses one
+  /// scratch vector across apps instead of allocating per Step.
+  void Views(std::vector<JobView>& out) const;
 };
 
 /// Deterministically ordered list of app pointers (by AppId).

@@ -19,9 +19,18 @@ std::vector<AppSpec> TraceGenerator::Generate() {
 
 bool TraceGenerator::GenerateNext(AppSpec& out) {
   if (next_index_ >= config_.num_apps) return false;
-  out = GenerateApp(next_arrival_, next_index_);
-  next_arrival_ +=
-      rng_.Exponential(config_.mean_interarrival / config_.contention_factor);
+  // Bursty mode overrides only the arrival instant (burst index * gap); the
+  // exponential draw below is still consumed so the parent RNG stream — and
+  // therefore every per-app Split() stream — is identical to the Poisson
+  // trace with the same seed: same apps, different arrival times.
+  const Time arrival =
+      config_.burst_size > 0
+          ? static_cast<Time>(next_index_ / config_.burst_size) *
+                config_.burst_gap_minutes
+          : next_arrival_;
+  out = GenerateApp(arrival, next_index_);
+  next_arrival_ += rng_.Exponential(config_.mean_interarrival /
+                                    config_.contention_factor);
   ++next_index_;
   return true;
 }

@@ -28,6 +28,14 @@ struct TraceConfig {
   Time mean_interarrival = 20.0;
   /// >1 compresses arrivals (Sec. 8.4.2's "factor of contention").
   double contention_factor = 1.0;
+  /// Bursty arrivals: when burst_size > 0, apps arrive in same-instant
+  /// bursts of this many, with consecutive bursts burst_gap_minutes apart
+  /// (burst k arrives at k * gap). Only the arrival instants change: the
+  /// per-app draws (jobs, models, durations) are bit-identical to the
+  /// Poisson trace with the same seed. This is the sparse arrival shape
+  /// the event-driven simulator core is built for.
+  int burst_size = 0;
+  Time burst_gap_minutes = 0.0;
 
   // Jobs per app: lognormal(median, sigma) clamped to [min, max].
   double jobs_per_app_median = 23.0;
