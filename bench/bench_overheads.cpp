@@ -10,11 +10,15 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "bench_common.h"
 #include "core/agent.h"
+#include "core/rho_index.h"
 #include "core/themis_policy.h"
 #include "sim/experiment.h"
 
@@ -139,7 +143,181 @@ void BM_ClusterPassChurn(benchmark::State& state) {
 BENCHMARK(BM_ClusterPassChurn)->Arg(64)->Arg(512)->Arg(1024)
     ->Unit(benchmark::kMicrosecond);
 
+// ---------------------------------------------------------------------------
+// BM_FilterProbe: ARBITER filter+probe cost vs live-app population, one
+// lease expiry per round — the daemon regime where a huge multi-tenant queue
+// waits on a small cluster and each round reoffers a sliver. The recompute
+// path probes and sorts every live app per round (O(n log n)); the indexed
+// path (core/rho_index.h) re-probes only the ~cluster-capacity holders and
+// merges them with the maintained gangless class, so rounds scale with the
+// auction instead of the population. Both paths are driven through the same
+// mutation sequence and their grant streams are fingerprint-checked for the
+// bit-identicality the index contract promises.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<AppState> FilterProbeApp(AppId id) {
+  // Two single-GPU-gang jobs per app so the one offered GPU is always
+  // absorbed by the auction (leftovers then early-return on an empty pool
+  // instead of walking the population in both paths).
+  auto app = std::make_unique<AppState>();
+  app->id = id;
+  app->spec.arrival = 0.0;
+  app->spec.target_loss = 0.1;
+  app->arrived = true;
+  for (int j = 0; j < 2; ++j) {
+    app->spec.jobs.push_back(BenchJobSpec(60.0 + 10.0 * j, 2, 1));
+    JobState job;
+    job.id = static_cast<JobId>(j);
+    job.spec = app->spec.jobs.back();
+    job.parallelism_cap = job.spec.MaxParallelism();
+    app->jobs.push_back(std::move(job));
+  }
+  app->ideal_time = std::max(1e-9, app->spec.IdealRunningTime());
+  return app;
+}
+
+struct FilterProbeWorld {
+  Cluster cluster;
+  WorkEstimator est;
+  Rng rng;
+  std::vector<std::unique_ptr<AppState>> apps;
+  AppList list;
+  RhoIndex index;
+  bool use_index;
+  int victim_cursor = 0;
+
+  FilterProbeWorld(int num_apps, bool indexed)
+      : cluster(ClusterSpec::Uniform(2, 16, 4, 4)),  // 128 GPUs
+        est({}),
+        rng(42),
+        use_index(indexed) {
+    for (AppId id = 0; id < static_cast<AppId>(num_apps); ++id) {
+      apps.push_back(FilterProbeApp(id));
+      list.push_back(apps.back().get());
+    }
+    // Saturate the cluster: one single-GPU gang per low-id app. Every later
+    // round frees exactly one lease and the auction re-grants it.
+    for (GpuId g = 0; g < static_cast<GpuId>(cluster.num_gpus()); ++g) {
+      cluster.Allocate(g, static_cast<AppId>(g), 0, 1.0e9);
+      apps[g]->jobs[0].gpus = {g};
+    }
+    if (use_index)
+      for (auto& app : apps) index.Update(app.get());
+  }
+
+  /// One single-expiry round: the rotating victim's lease lapses, the round
+  /// reoffers that one GPU, the worst-off app wins it back. Returns the
+  /// round's grant stream folded into `fp` (paths must agree bit-for-bit).
+  std::uint64_t Round(Time now, ThemisPolicy& policy, std::uint64_t fp,
+                      int* granted_gpus) {
+    AppState* victim = apps[victim_cursor].get();
+    victim_cursor = (victim_cursor + 1) % static_cast<int>(cluster.num_gpus());
+    JobState& vjob = victim->jobs[0];
+    const GpuId g = vjob.gpus[0];
+    cluster.Release(g);
+    vjob.gpus.clear();
+    if (use_index) index.Update(victim);
+
+    SchedulerContext ctx(now, &cluster, &est, /*lease=*/1.0e9, &list, &rng);
+    if (use_index) ctx.set_rho_index(&index);
+    const GrantSet grants = policy.Schedule(cluster.FreeGpus(), ctx);
+    for (const Grant& grant : grants.grants) {
+      for (GpuId gg : grant.gpus) {
+        fp = fp * 1000003ull + static_cast<std::uint64_t>(grant.app) * 131ull +
+             static_cast<std::uint64_t>(grant.job) * 31ull +
+             static_cast<std::uint64_t>(gg);
+        ++*granted_gpus;
+      }
+    }
+    if (use_index)
+      for (const auto& [app_id, job_id] : ctx.granted_jobs()) {
+        (void)job_id;
+        index.Update(apps[app_id].get());
+      }
+    return fp;
+  }
+};
+
+struct FilterProbeRun {
+  double rounds_per_sec = 0.0;
+  std::uint64_t fingerprint = 0;
+  int granted_gpus = 0;
+};
+
+FilterProbeRun MeasureFilterProbe(int num_apps, bool indexed, int rounds) {
+  FilterProbeWorld world(num_apps, indexed);
+  ThemisConfig cfg;
+  // Daemon regime: offer each sliver to the single worst-off app, so round
+  // cost is the filter itself, not the auction.
+  cfg.fairness_knob = 1.0;
+  cfg.incremental_filter = indexed;
+  ThemisPolicy policy(cfg);
+  FilterProbeRun run;
+  Time now = 1.0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    run.fingerprint =
+        world.Round(now, policy, run.fingerprint, &run.granted_gpus);
+    now += 1.0;
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  run.rounds_per_sec = static_cast<double>(rounds) / elapsed.count();
+  return run;
+}
+
+int RunFilterProbeSweep() {
+  std::vector<int> populations{1000, 5000, 10000, 20000};
+  if (const char* only = std::getenv("THEMIS_BENCH_FILTER_APPS");
+      only && *only)
+    populations = {std::atoi(only)};
+
+  bench::BenchReport report("overheads");
+  report.Config("cluster_gpus", 128.0);
+  report.Config("rounds_shape", "single-lease-expiry");
+  std::printf("\nBM_FilterProbe: one-expiry rounds/sec vs live apps\n");
+  std::printf("%8s %12s %12s %9s %10s\n", "apps", "recompute/s", "indexed/s",
+              "speedup", "identical");
+  bool ok = true;
+  for (const int apps : populations) {
+    const int rounds = std::max(64, 1500000 / apps);
+    const FilterProbeRun recompute = MeasureFilterProbe(apps, false, rounds);
+    const FilterProbeRun indexed = MeasureFilterProbe(apps, true, rounds);
+    const bool identical =
+        recompute.fingerprint == indexed.fingerprint &&
+        recompute.granted_gpus == rounds && indexed.granted_gpus == rounds;
+    const double speedup =
+        indexed.rounds_per_sec / std::max(1e-9, recompute.rounds_per_sec);
+    std::printf("%8d %12.0f %12.0f %8.1fx %10s\n", apps,
+                recompute.rounds_per_sec, indexed.rounds_per_sec, speedup,
+                identical ? "yes" : "NO");
+    std::string tag = "@";
+    tag += std::to_string(apps);
+    tag += "apps";
+    report.Metric("filter_rounds_per_sec_recompute" + tag,
+                  recompute.rounds_per_sec);
+    report.Metric("filter_rounds_per_sec_indexed" + tag,
+                  indexed.rounds_per_sec);
+    report.Metric("filter_speedup" + tag, speedup);
+    report.Metric("filter_identical" + tag, identical ? 1.0 : 0.0);
+    ok = ok && identical;
+  }
+  if (!report.Write()) ok = false;
+  if (!ok) std::fprintf(stderr, "bench: filter-probe check FAILED\n");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace themis
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): after the google-benchmark suite
+// (which --benchmark_filter can narrow or skip), the filter-probe sweep runs
+// unconditionally and writes BENCH_overheads.json — the machine-readable
+// report CI's bench-smoke gate asserts on.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return themis::RunFilterProbeSweep();
+}

@@ -5,6 +5,7 @@
 //              [--generations SPEC (e.g. K80:0.25,V100:0.5,A100:0.25)]
 //              [--apps N] [--seed S] [--contention C] [--lease MIN]
 //              [--knob F] [--theta T] [--mtbf MIN] [--sensitive FRAC]
+//              [--no-incremental-filter]
 //              [--trace-out FILE] [--trace-in FILE] [--cdf]
 //              [--stream-trace FILE] [--bounded-metrics]
 //              [--shards N] [--threads N]
@@ -56,6 +57,7 @@ using namespace themis;
                "K80:0.25,V100:0.5,A100:0.25)]\n"
                "          [--seed S] [--contention C] [--lease MIN]\n"
                "          [--knob F] [--theta T] [--mtbf MIN]\n"
+               "          [--no-incremental-filter]\n"
                "          [--sensitive FRAC] [--trace-out FILE]\n"
                "          [--trace-in FILE] [--cdf]\n"
                "          [--stream-trace FILE] [--bounded-metrics]\n"
@@ -210,6 +212,10 @@ int main(int argc, char** argv) {
     else if (arg == "--lease") config.sim.lease_minutes = std::atof(next().c_str());
     else if (arg == "--knob")
       config.themis.fairness_knob = std::atof(next().c_str());
+    else if (arg == "--no-incremental-filter")
+      // Bisect escape hatch: force the literal probe-everything filter
+      // instead of the maintained rho index (bit-identical by contract).
+      config.themis.incremental_filter = false;
     else if (arg == "--theta") {
       config.sim.estimator.theta = std::atof(next().c_str());
       if (config.sim.estimator.theta > 0.0)

@@ -1,0 +1,70 @@
+#include "core/rho_index.h"
+
+#include <algorithm>
+
+#include "common/types.h"
+
+namespace themis {
+
+void RhoIndex::Update(AppState* app) {
+  std::uint8_t cls = kAbsent;
+  if (app->arrived && !app->finished) {
+    bool holds = false;
+    for (const JobState& job : app->jobs)
+      if (!job.gpus.empty()) {
+        holds = true;
+        break;
+      }
+    if (holds) {
+      cls = kHolder;
+    } else {
+      // No gang anywhere: the probe's running minimum stays infinite and
+      // CurrentRho returns the kUnboundedRho constant (see header). Pin
+      // last_rho to it here so the value stays fresh without a probe; it
+      // cannot drift until the next reclassifying event runs Update again.
+      app->last_rho = kUnboundedRho;
+      if (app->UnmetDemand() > 0) cls = kUnbounded;
+    }
+  }
+  if (cls == app->rho_index_class) return;  // keys are immutable: no re-sort
+
+  switch (app->rho_index_class) {
+    case kHolder: {
+      const auto it = std::lower_bound(
+          holders_.begin(), holders_.end(), app->id,
+          [](const AppState* a, AppId b) { return a->id < b; });
+      if (it != holders_.end() && (*it)->id == app->id) holders_.erase(it);
+      break;
+    }
+    case kUnbounded:
+      unbounded_.erase(app);
+      break;
+    default:
+      break;
+  }
+  switch (cls) {
+    case kHolder: {
+      const auto it = std::lower_bound(
+          holders_.begin(), holders_.end(), app->id,
+          [](const AppState* a, AppId b) { return a->id < b; });
+      holders_.insert(it, app);
+      break;
+    }
+    case kUnbounded:
+      unbounded_.insert(app);
+      break;
+    default:
+      break;
+  }
+  app->rho_index_class = cls;
+}
+
+void RhoIndex::SetTiebreak(bool short_app_tiebreak) {
+  if (short_app_tiebreak == short_app_tiebreak_) return;
+  short_app_tiebreak_ = short_app_tiebreak;
+  UnboundedSet reordered{UnboundedLess{short_app_tiebreak}};
+  for (AppState* app : unbounded_) reordered.insert(app);
+  unbounded_.swap(reordered);  // std::set::swap carries the comparator over
+}
+
+}  // namespace themis

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <unordered_map>
+
+#include "core/rho_index.h"
 
 namespace themis {
 
@@ -12,34 +15,75 @@ GrantSet ThemisPolicy::RunRound(const ResourceOffer& offer,
                                 SchedulerContext& ctx) {
   Agent agent(&ctx.topology(), &ctx.estimator(), ctx.now());
 
-  // Step 1: probe every active app for rho (Fig. 3, step 1).
-  std::vector<AppState*> candidates;
-  for (AppState* app : ctx.apps()) {
-    app->last_rho = agent.CurrentRho(*app);
-    if (app->UnmetDemand() > 0) candidates.push_back(app);
-  }
-  if (candidates.empty()) return ctx.TakeGrants();
-
-  // Step 2: sort by rho descending (worst-off first) and offer to the top
-  // 1-f fraction; always at least one app so the round is work conserving.
+  // Steps 1-2: probe for rho, sort worst-off first, keep the top 1-f
+  // fraction (Fig. 3, steps 1-2). The comparator is a strict total order
+  // (ids are unique), so "sorted under it" names one unique permutation —
+  // which is what lets the indexed path below reproduce the full scan's
+  // stable_sort bit-for-bit from a merge.
   const bool short_first = config_.short_app_tiebreak;
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [short_first](const AppState* a, const AppState* b) {
-                     if (a->last_rho != b->last_rho)
-                       return a->last_rho > b->last_rho;
-                     // Sec. 8.3.1 / Fig. 8: "we break ties in favor of
-                     // shorter apps" — equal (often unbounded) rho goes to
-                     // the app with the smaller ideal running time.
-                     if (short_first && a->ideal_time != b->ideal_time)
-                       return a->ideal_time < b->ideal_time;
-                     return a->id < b->id;  // deterministic final tie-break
-                   });
-  const int n_offer = std::max(
-      1, static_cast<int>(std::ceil((1.0 - config_.fairness_knob) *
-                                    static_cast<double>(candidates.size()))));
-  std::vector<AppState*> participants(
-      candidates.begin(),
-      candidates.begin() + std::min<std::size_t>(n_offer, candidates.size()));
+  const auto worse = [short_first](const AppState* a, const AppState* b) {
+    if (a->last_rho != b->last_rho) return a->last_rho > b->last_rho;
+    // Sec. 8.3.1 / Fig. 8: "we break ties in favor of shorter apps" — equal
+    // (often unbounded) rho goes to the app with the smaller ideal time.
+    if (short_first && a->ideal_time != b->ideal_time)
+      return a->ideal_time < b->ideal_time;
+    return a->id < b->id;  // deterministic final tie-break
+  };
+  const auto offer_count = [this](std::size_t num_candidates) {
+    // Always at least one app so the round is work conserving.
+    return std::max(
+        1, static_cast<int>(std::ceil((1.0 - config_.fairness_knob) *
+                                      static_cast<double>(num_candidates))));
+  };
+
+  std::vector<AppState*> participants;
+  RhoIndex* index = config_.incremental_filter ? ctx.rho_index() : nullptr;
+  if (index != nullptr) {
+    // Indexed filter (core/rho_index.h): only apps holding GPUs can have a
+    // rho that moved since the last round, so only they are re-probed —
+    // ascending id, which is exactly the full scan's estimator-call
+    // sequence, because gangless apps contribute no estimator calls there.
+    // The gangless hungry class sits pre-ordered in the index with
+    // last_rho pinned to the kUnboundedRho constant the probe would return.
+    index->SetTiebreak(short_first);
+    std::vector<AppState*> bounded;
+    for (AppState* app : index->holders()) {
+      app->last_rho = agent.CurrentRho(*app);
+      if (app->UnmetDemand() > 0) bounded.push_back(app);
+    }
+    const std::size_t num_candidates =
+        bounded.size() + index->num_unbounded();
+    if (num_candidates == 0) return ctx.TakeGrants();
+    std::stable_sort(bounded.begin(), bounded.end(), worse);
+
+    // Merge the two sorted classes under the full comparator, stopping at
+    // the cut instead of materializing the whole order.
+    const std::size_t take = std::min<std::size_t>(
+        static_cast<std::size_t>(offer_count(num_candidates)), num_candidates);
+    participants.reserve(take);
+    auto ub = index->unbounded_candidates().begin();
+    const auto ub_end = index->unbounded_candidates().end();
+    std::size_t bi = 0;
+    while (participants.size() < take) {
+      if (bi < bounded.size() && (ub == ub_end || worse(bounded[bi], *ub)))
+        participants.push_back(bounded[bi++]);
+      else
+        participants.push_back(*ub++);
+    }
+  } else {
+    // Literal filter: probe every active app, sort the full candidate set.
+    std::vector<AppState*> candidates;
+    for (AppState* app : ctx.apps()) {
+      app->last_rho = agent.CurrentRho(*app);
+      if (app->UnmetDemand() > 0) candidates.push_back(app);
+    }
+    if (candidates.empty()) return ctx.TakeGrants();
+    std::stable_sort(candidates.begin(), candidates.end(), worse);
+    const int n_offer = offer_count(candidates.size());
+    participants.assign(
+        candidates.begin(),
+        candidates.begin() + std::min<std::size_t>(n_offer, candidates.size()));
+  }
 
   // Step 3: collect bids against the offer's resource vector R-> and pool —
   // the protocol inputs, no recount of the cluster's free state.
@@ -111,9 +155,31 @@ GrantSet ThemisPolicy::RunRound(const ResourceOffer& offer,
 void ThemisPolicy::AllocateLeftovers(
     SchedulerContext& ctx, const Agent& agent,
     const std::vector<AppState*>& participants) {
+  // Participant lookups are O(log P) against a sorted id vector instead of
+  // an O(P) find per candidate per iteration.
+  std::vector<AppId> participant_ids;
+  participant_ids.reserve(participants.size());
+  for (const AppState* app : participants) participant_ids.push_back(app->id);
+  std::sort(participant_ids.begin(), participant_ids.end());
   auto is_participant = [&](const AppState* app) {
-    return std::find(participants.begin(), participants.end(), app) !=
-           participants.end();
+    return std::binary_search(participant_ids.begin(), participant_ids.end(),
+                              app->id);
+  };
+
+  // Per-app machine bitmaps survive across iterations: a candidate's gangs
+  // only change when it wins a grant, so only the winner's entry is
+  // invalidated. The bitmaps feed pure set intersections, so reuse is
+  // result-neutral.
+  std::unordered_map<AppId, std::vector<bool>> machine_cache;
+  auto app_machines = [&](const AppState* app) -> const std::vector<bool>& {
+    auto [it, inserted] = machine_cache.try_emplace(app->id);
+    if (inserted) {
+      it->second.assign(ctx.topology().num_machines(), false);
+      for (const JobState& job : app->jobs)
+        for (GpuId g : job.gpus)
+          it->second[ctx.topology().gpu(g).machine] = true;
+    }
+    return it->second;
   };
 
   // Two rounds: first apps that did not participate in the auction (the
@@ -147,11 +213,9 @@ void ThemisPolicy::AllocateLeftovers(
       // with free GPUs.
       std::vector<AppState*> anchored;
       for (AppState* app : candidates) {
-        std::vector<bool> app_machines(ctx.topology().num_machines(), false);
-        for (const JobState& job : app->jobs)
-          for (GpuId g : job.gpus) app_machines[ctx.topology().gpu(g).machine] = true;
+        const std::vector<bool>& on_machines = app_machines(app);
         for (GpuId g : free)
-          if (app_machines[ctx.topology().gpu(g).machine]) {
+          if (on_machines[ctx.topology().gpu(g).machine]) {
             anchored.push_back(app);
             break;
           }
@@ -177,6 +241,7 @@ void ThemisPolicy::AllocateLeftovers(
             EffectiveJobRate(job.spec, combined, ctx.topology()) <= 0.0)
           continue;
         ctx.Grant(*app, job, picked);
+        machine_cache.erase(app->id);  // its gang just grew
         progress = true;
         break;
       }

@@ -42,6 +42,14 @@ struct ThemisConfig {
   /// ties toward apps with smaller ideal running time ("we break ties in
   /// favor of shorter apps"). When false, ties fall back to app id.
   bool short_app_tiebreak = true;
+  /// Use the maintained RhoIndex (core/rho_index.h) for the filter step when
+  /// the embedder provides one through SchedulerContext::rho_index():
+  /// re-probe only apps holding GPUs and merge them with the pre-ordered
+  /// gangless class, instead of probing and sorting every active app each
+  /// round. Bit-identical to the full scan by construction; false forces
+  /// the literal scan (the `themis_cli --no-incremental-filter` bisect
+  /// hatch). Contexts without an index always take the literal scan.
+  bool incremental_filter = true;
   PaConfig pa;
 };
 

@@ -19,6 +19,8 @@
 
 namespace themis {
 
+class RhoIndex;
+
 /// Staging area for one round. Construction snapshots the offer into a
 /// FreePool; every Grant() moves GPUs from the pool onto the job's gang and
 /// into the pending GrantSet, so mid-round reads (pool membership,
@@ -48,6 +50,14 @@ class SchedulerContext {
   /// Active apps (arrived, unfinished), ascending AppId order.
   const AppList& apps() const { return *apps_; }
   Rng& rng() { return *rng_; }
+
+  /// The maintained rho index (core/rho_index.h) when the embedder keeps
+  /// one in sync with every app mutation — the simulator does; legacy
+  /// contexts leave it null and policies fall back to full scans. The index
+  /// reflects state as of round start; policies must not read it after
+  /// staging grants (grants change holdings the index has not seen yet).
+  RhoIndex* rho_index() const { return rho_index_; }
+  void set_rho_index(RhoIndex* index) { rho_index_ = index; }
 
   /// The offer's pool, shrunk by every grant staged so far. Policies read
   /// this instead of recounting the cluster's free state.
@@ -87,6 +97,7 @@ class SchedulerContext {
   Time lease_duration_;
   AppList* apps_;
   Rng* rng_;
+  RhoIndex* rho_index_ = nullptr;
   FreePool pool_;
   GrantSet grants_;
   std::vector<std::pair<AppId, JobId>> granted_jobs_;

@@ -187,6 +187,7 @@ void Simulator::ActivateApp(AppState* app) {
     app->cached_cap_demand = app->CapDemand();
     total_cap_demand_ += app->cached_cap_demand;
   }
+  rho_index_.Update(app);
 }
 
 void Simulator::DeactivateApp(AppId id) {
@@ -211,6 +212,10 @@ void Simulator::UpdateHolding(AppState* app) {
     holding_apps_.insert(it, app);
   else if (!holds && present)
     holding_apps_.erase(it);
+  // Every gang-mutation site funnels through here, so this one call keeps
+  // the filter index's holder/candidate split current (finishes too: the
+  // app reads as inactive and leaves both sets).
+  rho_index_.Update(app);
 }
 
 void Simulator::MarkTunerDirty(AppState* app) {
@@ -380,6 +385,10 @@ void Simulator::StepTuner(Time t, AppState& app) {
   if (killed) {
     UpdateHolding(&app);
     TouchAlloc(app.id);
+  } else {
+    // Cap changes alone can flip UnmetDemand() and with it candidate
+    // membership; kills already reclassified through UpdateHolding.
+    rho_index_.Update(&app);
   }
 }
 
@@ -451,6 +460,7 @@ void Simulator::SchedulingPass(Time t) {
     offer.machine_speeds = cluster_.topology().machine_speeds();
     offer.gpus = std::move(free);
     SchedulerContext ctx(offer, &cluster_, &estimator_, &active_apps_, &rng_);
+    ctx.set_rho_index(&rho_index_);
     const GrantSet grants = scheduler_->RunRound(offer, ctx);
     ApplyGrants(grants, cluster_);
     if (grants.diagnostics.auction_ran)

@@ -28,6 +28,7 @@
 
 #include "cluster/cluster.h"
 #include "common/rng.h"
+#include "core/rho_index.h"
 #include "estimator/work_estimator.h"
 #include "metrics/collector.h"
 #include "sim/events.h"
@@ -223,6 +224,12 @@ class Simulator {
   /// event engine's progress-advance walk. Maintained by UpdateHolding at
   /// every gang mutation site (grant, reclaim, kill, finish, failure).
   AppList holding_apps_;
+  /// Maintained filter index for the ARBITER's rho sort, kept in sync at
+  /// every membership mutation (arrival, gang change, tuner step, finish)
+  /// and handed to policies through SchedulerContext::rho_index(). Policies
+  /// that ignore it cost one pointer; ThemisPolicy's incremental filter
+  /// reads it instead of probing the whole population each round.
+  RhoIndex rho_index_;
   /// Apps whose tuner views may have changed since their last Step
   /// (AppState::tuner_dirty guards duplicates); sorted+resolved per pass.
   std::vector<AppId> tuner_dirty_apps_;

@@ -7,6 +7,7 @@
 // inputs for THEMIS).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -102,6 +103,10 @@ struct AppState {
   /// Last held-GPU count recorded to the allocation timeline (-1 = never):
   /// the simulator samples the timeline on change, not on every pass.
   int last_recorded_held = -1;
+  /// RhoIndex bookkeeping (core/rho_index.h): which class the maintained
+  /// filter index currently files this app under (0 = absent, 1 = holder,
+  /// 2 = unbounded candidate). Owned by the index; nothing else reads it.
+  std::uint8_t rho_index_class = 0;
 
   Time arrival() const { return spec.arrival; }
   /// Finish-time fairness realized at completion: (finish - arrival) / T_ID.

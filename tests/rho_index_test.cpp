@@ -1,0 +1,414 @@
+// Tests for core/rho_index.h: the maintained filter index behind
+// ThemisConfig::incremental_filter must be pinned bit-identical to the
+// literal probe-everything filter (results, fingerprints, diagnostics)
+// across every policy, both engines, failures, heterogeneous generations,
+// noisy estimation and streamed traces; the index itself must agree with a
+// from-scratch classification after arbitrary event sequences; and the
+// indexed participant cut must reproduce the comparator's tie-break chain
+// exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/rho_index.h"
+#include "core/themis_policy.h"
+#include "sim/experiment.h"
+#include "workload/trace_gen.h"
+#include "workload/trace_io.h"
+
+namespace themis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bit-identical equivalence: indexed vs. recompute filter, whole experiments.
+// ---------------------------------------------------------------------------
+
+void ExpectSameExperiment(const ExperimentResult& a,
+                          const ExperimentResult& b) {
+  EXPECT_EQ(a.max_fairness, b.max_fairness);
+  EXPECT_EQ(a.median_fairness, b.median_fairness);
+  EXPECT_EQ(a.min_fairness, b.min_fairness);
+  EXPECT_EQ(a.jains_index, b.jains_index);
+  EXPECT_EQ(a.avg_completion_time, b.avg_completion_time);
+  EXPECT_EQ(a.gpu_time, b.gpu_time);
+  EXPECT_EQ(a.peak_contention, b.peak_contention);
+  EXPECT_EQ(a.unfinished_apps, b.unfinished_apps);
+  EXPECT_EQ(a.machine_failures, b.machine_failures);
+  EXPECT_EQ(a.scheduling_passes, b.scheduling_passes);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed);
+  EXPECT_EQ(a.sim_time_advances, b.sim_time_advances);
+  EXPECT_EQ(a.finished_apps, b.finished_apps);
+  EXPECT_EQ(a.rhos, b.rhos);
+  EXPECT_EQ(a.completion_times, b.completion_times);
+  EXPECT_EQ(a.placement_scores, b.placement_scores);
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+  for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+    EXPECT_EQ(a.timeline[i].time, b.timeline[i].time);
+    EXPECT_EQ(a.timeline[i].app, b.timeline[i].app);
+    EXPECT_EQ(a.timeline[i].gpus, b.timeline[i].gpus);
+  }
+}
+
+// Contended mixed workload (multi-job tuned apps, overlapping lifetimes,
+// restarts): everything that can make the two filter paths diverge.
+ExperimentConfig ContendedConfig(PolicyKind policy) {
+  ExperimentConfig config;
+  config.cluster = ClusterSpec::Uniform(2, 4, 4, 2);
+  config.policy = policy;
+  config.trace.seed = 33;
+  config.trace.num_apps = 25;
+  config.trace.jobs_per_app_median = 6.0;
+  config.trace.jobs_per_app_max = 12;
+  config.sim.seed = 33;
+  return config;
+}
+
+ExperimentResult RunWithFilter(ExperimentConfig config, bool incremental) {
+  config.themis.incremental_filter = incremental;
+  return RunExperiment(config);
+}
+
+class FilterEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<PolicyKind, SimEngine>> {};
+
+TEST_P(FilterEquivalenceTest, IndexedMatchesRecomputeBitForBit) {
+  ExperimentConfig config = ContendedConfig(std::get<0>(GetParam()));
+  config.sim.engine = std::get<1>(GetParam());
+  const ExperimentResult indexed = RunWithFilter(config, true);
+  const ExperimentResult recompute = RunWithFilter(config, false);
+  ExpectSameExperiment(indexed, recompute);
+  EXPECT_EQ(indexed.unfinished_apps, 0);
+  EXPECT_GT(indexed.rounds_executed, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesTimesEngines, FilterEquivalenceTest,
+    ::testing::Combine(::testing::Values(PolicyKind::kThemis,
+                                         PolicyKind::kGandiva,
+                                         PolicyKind::kTiresias,
+                                         PolicyKind::kSlaq, PolicyKind::kDrf),
+                       ::testing::Values(SimEngine::kEventDriven,
+                                         SimEngine::kPassStepped)));
+
+TEST(FilterEquivalence, HoldsUnderMachineFailures) {
+  ExperimentConfig config = ContendedConfig(PolicyKind::kThemis);
+  config.sim.machine_mtbf_minutes = 300.0;
+  config.sim.machine_repair_minutes = 45.0;
+  const ExperimentResult indexed = RunWithFilter(config, true);
+  const ExperimentResult recompute = RunWithFilter(config, false);
+  EXPECT_GT(indexed.machine_failures, 0);
+  ExpectSameExperiment(indexed, recompute);
+}
+
+TEST(FilterEquivalence, HoldsOnHeterogeneousGenerations) {
+  ExperimentConfig config = ContendedConfig(PolicyKind::kThemis);
+  ApplyGenerationMix(config.cluster,
+                     ParseGenerationMix("K80:0.25,V100:0.5,A100:0.25"));
+  const ExperimentResult indexed = RunWithFilter(config, true);
+  const ExperimentResult recompute = RunWithFilter(config, false);
+  ExpectSameExperiment(indexed, recompute);
+}
+
+TEST(FilterEquivalence, HoldsUnderNoisyEstimation) {
+  // The noisy estimator draws one RNG sample per RemainingWork call, so the
+  // indexed probe must issue the exact estimator-call sequence of the full
+  // scan — any skipped or reordered probe desynchronizes every downstream
+  // random decision. Gangless apps make zero estimator calls, which is what
+  // makes "probe holders ascending id" the exact sequence.
+  ExperimentConfig config = ContendedConfig(PolicyKind::kThemis);
+  config.sim.estimator.mode = EstimationMode::kNoisy;
+  config.sim.estimator.theta = 0.15;
+  const ExperimentResult indexed = RunWithFilter(config, true);
+  const ExperimentResult recompute = RunWithFilter(config, false);
+  ExpectSameExperiment(indexed, recompute);
+}
+
+TEST(FilterEquivalence, HoldsOnStreamedTraces) {
+  const ExperimentConfig base = ContendedConfig(PolicyKind::kThemis);
+  const auto apps = TraceGenerator(base.trace).Generate();
+  auto run = [&](bool incremental) {
+    ExperimentConfig config = base;
+    config.themis.incremental_filter = incremental;
+    config.sim.arrival_lookahead_minutes = 30.0;
+    config.sim.retire_finished_apps = true;
+    return RunStreamingExperiment(config,
+                                  std::make_unique<VectorTraceReader>(apps));
+  };
+  const ExperimentResult indexed = run(true);
+  const ExperimentResult recompute = run(false);
+  ExpectSameExperiment(indexed, recompute);
+  EXPECT_EQ(indexed.total_apps, apps.size());
+}
+
+TEST(FilterEquivalence, HoldsWithShortAppTiebreakOff) {
+  ExperimentConfig config = ContendedConfig(PolicyKind::kThemis);
+  config.themis.short_app_tiebreak = false;
+  const ExperimentResult indexed = RunWithFilter(config, true);
+  const ExperimentResult recompute = RunWithFilter(config, false);
+  ExpectSameExperiment(indexed, recompute);
+}
+
+// ---------------------------------------------------------------------------
+// Dirty-tracking property: after any event sequence, the index agrees with a
+// from-scratch classification and ordering.
+// ---------------------------------------------------------------------------
+
+JobSpec PropJobSpec(double work, int num_tasks, int gpus_per_task) {
+  JobSpec spec;
+  spec.total_work = work;
+  spec.total_iterations = 1000.0;
+  spec.num_tasks = num_tasks;
+  spec.gpus_per_task = gpus_per_task;
+  spec.model = ModelByName("ResNet50");
+  spec.loss = LossCurve(0.1 * std::pow(1001.0, 0.6), 0.6, 0.0);
+  return spec;
+}
+
+std::unique_ptr<AppState> PropApp(AppId id, double ideal_time, int jobs) {
+  auto app = std::make_unique<AppState>();
+  app->id = id;
+  app->spec.target_loss = 0.1;
+  app->arrived = true;
+  app->ideal_time = ideal_time;
+  for (JobId j = 0; j < static_cast<JobId>(jobs); ++j) {
+    JobState job;
+    job.id = j;
+    job.spec = PropJobSpec(40.0, 2, 2);
+    job.parallelism_cap = job.spec.MaxParallelism();
+    app->jobs.push_back(std::move(job));
+  }
+  return app;
+}
+
+// From-scratch reference: classify every app and order each class exactly as
+// the index contract promises.
+void ExpectIndexMatchesBruteForce(
+    const RhoIndex& index, const std::vector<std::unique_ptr<AppState>>& apps,
+    bool short_tiebreak) {
+  std::vector<const AppState*> want_holders;
+  std::vector<const AppState*> want_unbounded;
+  for (const auto& app : apps) {
+    if (!app->arrived || app->finished) continue;
+    bool holds = false;
+    for (const JobState& job : app->jobs)
+      if (!job.gpus.empty()) holds = true;
+    if (holds)
+      want_holders.push_back(app.get());
+    else if (app->UnmetDemand() > 0)
+      want_unbounded.push_back(app.get());
+  }
+  std::sort(want_holders.begin(), want_holders.end(),
+            [](const AppState* a, const AppState* b) { return a->id < b->id; });
+  std::sort(want_unbounded.begin(), want_unbounded.end(),
+            [short_tiebreak](const AppState* a, const AppState* b) {
+              if (short_tiebreak && a->ideal_time != b->ideal_time)
+                return a->ideal_time < b->ideal_time;
+              return a->id < b->id;
+            });
+
+  ASSERT_EQ(index.holders().size(), want_holders.size());
+  for (std::size_t i = 0; i < want_holders.size(); ++i)
+    EXPECT_EQ(index.holders()[i], want_holders[i]) << "holder " << i;
+  ASSERT_EQ(index.num_unbounded(), want_unbounded.size());
+  std::size_t i = 0;
+  for (const AppState* app : index.unbounded_candidates()) {
+    EXPECT_EQ(app, want_unbounded[i]) << "unbounded " << i;
+    // Contract: the index pins the class's last_rho to the probe constant.
+    EXPECT_EQ(app->last_rho, kUnboundedRho);
+    ++i;
+  }
+}
+
+TEST(RhoIndexProperty, AgreesWithBruteForceAfterRandomEventSequence) {
+  Rng rng(2024);
+  std::vector<std::unique_ptr<AppState>> apps;
+  RhoIndex index;
+  const int kApps = 40;
+  for (AppId id = 0; id < kApps; ++id) {
+    // Duplicate ideal times on purpose so the (ideal_time, id) chain is
+    // exercised past its first link.
+    apps.push_back(PropApp(id, 1.0 + static_cast<double>(id % 7), 3));
+    // Half the population arrives later, through the "arrival" event below.
+    apps.back()->arrived = (id % 2 == 0);
+    index.Update(apps.back().get());
+  }
+  ExpectIndexMatchesBruteForce(index, apps, true);
+
+  GpuId next_gpu = 0;
+  for (int step = 0; step < 2000; ++step) {
+    AppState* app = apps[rng.UniformInt(0, kApps - 1)].get();
+    JobState& job = app->jobs[rng.UniformInt(0, 2)];
+    switch (rng.UniformInt(0, 6)) {
+      case 0:  // grant: the job gains one gang
+        job.gpus.push_back(next_gpu++);
+        job.gpus.push_back(next_gpu++);
+        break;
+      case 1:  // lease expiry / failure revocation: the job loses its gang
+        job.gpus.clear();
+        break;
+      case 2:  // tuner kill
+        job.alive = false;
+        job.gpus.clear();
+        break;
+      case 3:  // tuner cap change (can zero or restore UnmetDemand)
+        job.parallelism_cap = rng.UniformInt(0, job.spec.MaxParallelism());
+        break;
+      case 4:  // arrival
+        app->arrived = true;
+        break;
+      case 5:  // app finish: all gangs revoked
+        app->finished = true;
+        for (JobState& j : app->jobs) j.gpus.clear();
+        break;
+      default:  // no-op event: Update must be idempotent
+        break;
+    }
+    index.Update(app);
+    if (step % 100 == 99) ExpectIndexMatchesBruteForce(index, apps, true);
+  }
+  ExpectIndexMatchesBruteForce(index, apps, true);
+}
+
+TEST(RhoIndexProperty, SetTiebreakReordersTheUnboundedClass) {
+  std::vector<std::unique_ptr<AppState>> apps;
+  RhoIndex index;
+  // Descending ideal times so (ideal, id) order differs from id order.
+  for (AppId id = 0; id < 6; ++id) {
+    apps.push_back(PropApp(id, 10.0 - static_cast<double>(id), 1));
+    index.Update(apps.back().get());
+  }
+  ExpectIndexMatchesBruteForce(index, apps, true);
+  index.SetTiebreak(false);
+  ExpectIndexMatchesBruteForce(index, apps, false);
+  index.SetTiebreak(true);
+  ExpectIndexMatchesBruteForce(index, apps, true);
+}
+
+// ---------------------------------------------------------------------------
+// Tie-break-chain exactness through the policy's indexed cut.
+// ---------------------------------------------------------------------------
+
+// Two identical worlds, one scheduled through the index, one through the
+// literal scan; both legacy contexts, same RNG seed.
+struct World {
+  World() : cluster(ClusterSpec::Uniform(2, 2, 4, 2)), est({}), rng(7) {}
+  Cluster cluster;
+  WorkEstimator est;
+  Rng rng;
+  std::vector<std::unique_ptr<AppState>> apps;
+
+  void AddApp(AppId id, double ideal_time) {
+    apps.push_back(PropApp(id, ideal_time, 1));
+    apps.back()->ideal_time = ideal_time;
+  }
+
+  GrantSet Schedule(ThemisConfig cfg, RhoIndex* index) {
+    AppList list;
+    for (auto& app : apps) list.push_back(app.get());
+    SchedulerContext ctx(0.0, &cluster, &est, 20.0, &list, &rng);
+    if (index != nullptr) {
+      for (auto& app : apps) index->Update(app.get());
+      ctx.set_rho_index(index);
+    }
+    ThemisPolicy policy(cfg);
+    return policy.Schedule(cluster.FreeGpus(), ctx);
+  }
+};
+
+void ExpectSameGrants(const GrantSet& a, const GrantSet& b) {
+  ASSERT_EQ(a.grants.size(), b.grants.size());
+  for (std::size_t i = 0; i < a.grants.size(); ++i) {
+    EXPECT_EQ(a.grants[i].app, b.grants[i].app);
+    EXPECT_EQ(a.grants[i].job, b.grants[i].job);
+    EXPECT_EQ(a.grants[i].gpus, b.grants[i].gpus);
+  }
+  EXPECT_EQ(a.lease_expiry, b.lease_expiry);
+  EXPECT_EQ(a.diagnostics.auction_ran, b.diagnostics.auction_ran);
+  EXPECT_EQ(a.diagnostics.auction_participants,
+            b.diagnostics.auction_participants);
+  EXPECT_EQ(a.diagnostics.offered_gpus, b.diagnostics.offered_gpus);
+  EXPECT_EQ(a.diagnostics.granted_gpus, b.diagnostics.granted_gpus);
+  EXPECT_EQ(a.diagnostics.leftover_gpus, b.diagnostics.leftover_gpus);
+}
+
+// All-unbounded population with colliding and distinct ideal times: the cut
+// must follow (ideal_time asc, id asc) exactly when short_app_tiebreak is
+// set, and (id asc) when it is not — in both paths.
+TEST(TiebreakExactness, IndexedCutMatchesLiteralCutOnPureTies) {
+  for (const bool short_tiebreak : {true, false}) {
+    World indexed, literal;
+    for (AppId id = 0; id < 8; ++id) {
+      const double ideal = (id < 4) ? 5.0 : 9.0 - static_cast<double>(id);
+      indexed.AddApp(id, ideal);
+      literal.AddApp(id, ideal);
+    }
+    ThemisConfig cfg;
+    cfg.fairness_knob = 0.9;  // ceil(0.1 * 8) = 1 participant: the head app
+    cfg.short_app_tiebreak = short_tiebreak;
+    RhoIndex index;
+    const GrantSet a = indexed.Schedule(cfg, &index);
+    const GrantSet b = literal.Schedule(cfg, nullptr);
+    ExpectSameGrants(a, b);
+    EXPECT_EQ(a.diagnostics.auction_participants, 1);
+    // The auction's grant (staged before any leftovers) goes to the
+    // comparator's head app: with the short-app tie-break, the smallest
+    // ideal_time (app 7, ideal 2.0); without it, the smallest id.
+    ASSERT_FALSE(a.grants.empty());
+    EXPECT_EQ(a.grants[0].app, short_tiebreak ? 7 : 0);
+  }
+}
+
+// Mixed population: holders with bounded rho interleaved with gangless apps.
+// The indexed merge must land the bounded apps at the same comparator
+// positions the full sort gives them.
+TEST(TiebreakExactness, MergePlacesBoundedHoldersExactly) {
+  for (const double knob : {0.0, 0.5, 0.9}) {
+    World indexed, literal;
+    for (AppId id = 0; id < 6; ++id) {
+      indexed.AddApp(id, 4.0 + static_cast<double>(id));
+      literal.AddApp(id, 4.0 + static_cast<double>(id));
+    }
+    // Apps 1 and 4 hold one whole gang each (bounded rho, still hungry).
+    for (World* w : {&indexed, &literal}) {
+      w->cluster.Allocate(/*gpu=*/0, 1, 0, 20.0);
+      w->cluster.Allocate(/*gpu=*/1, 1, 0, 20.0);
+      w->apps[1]->jobs[0].gpus = {0, 1};
+      w->cluster.Allocate(/*gpu=*/8, 4, 0, 20.0);
+      w->cluster.Allocate(/*gpu=*/9, 4, 0, 20.0);
+      w->apps[4]->jobs[0].gpus = {8, 9};
+    }
+    ThemisConfig cfg;
+    cfg.fairness_knob = knob;
+    RhoIndex index;
+    const GrantSet a = indexed.Schedule(cfg, &index);
+    const GrantSet b = literal.Schedule(cfg, nullptr);
+    ExpectSameGrants(a, b);
+  }
+}
+
+// An app that loses its whole gang re-enters the unbounded class with
+// last_rho pinned back to the constant — the stale bounded value from its
+// holder rounds must not leak into the merge comparator.
+TEST(TiebreakExactness, ReleasedHolderRejoinsUnboundedClassFresh) {
+  std::vector<std::unique_ptr<AppState>> apps;
+  apps.push_back(PropApp(0, 5.0, 1));
+  RhoIndex index;
+  AppState* app = apps[0].get();
+  app->jobs[0].gpus = {0, 1};
+  index.Update(app);
+  ASSERT_EQ(index.holders().size(), 1u);
+  app->last_rho = 3.25;  // what a holder probe might have cached
+
+  app->jobs[0].gpus.clear();  // lease expiry
+  index.Update(app);
+  EXPECT_TRUE(index.holders().empty());
+  ASSERT_EQ(index.num_unbounded(), 1u);
+  EXPECT_EQ(app->last_rho, kUnboundedRho);
+}
+
+}  // namespace
+}  // namespace themis
