@@ -1,0 +1,212 @@
+// bench_daemon_rounds — throughput and round latency of themis_arbiterd
+// under large concurrent AGENT fleets, all over real loopback sockets.
+//
+//   bench_daemon_rounds [--max-agents N] [--rounds N]
+//
+// For each population (256 / 1024 / 4096 AGENTs, capped by --max-agents)
+// the bench starts an ArbiterServer on its own thread, registers one app
+// per AGENT through the sequential HELLO barrier, then drives every AGENT
+// concurrently through the configured number of rounds and reports
+// agents-served/sec plus p50/p99/max round latency from the server's own
+// stats. A final slow-AGENT case mutes every 4th AGENT under a 200 ms bid
+// deadline to show the timeout bounding round latency (misses, then
+// eviction). Emits BENCH_daemon_rounds.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/socket.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "workload/trace_gen.h"
+
+namespace {
+
+using namespace themis;
+
+double PctMs(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t idx =
+      static_cast<std::size_t>(p * static_cast<double>(xs.size() - 1) + 0.5);
+  return xs[idx];
+}
+
+struct PopulationResult {
+  bool ok = false;
+  std::string error;
+  double elapsed_s = 0.0;
+  server::ServerStats stats;
+  server::FleetResult fleet;
+  int server_rc = -1;
+};
+
+/// One app per AGENT, `rounds` auction rounds, all over 127.0.0.1.
+PopulationResult RunPopulation(int agents, std::uint64_t rounds,
+                               int bid_timeout_ms, int mute_every,
+                               std::uint64_t seed) {
+  PopulationResult out;
+
+  server::ServerConfig config;
+  config.max_sessions = static_cast<std::size_t>(agents) + 8;
+  config.min_agents = static_cast<std::size_t>(agents);
+  config.max_rounds = rounds;
+  config.bid_timeout_ms = bid_timeout_ms;
+  config.arbiter.seed = seed;
+
+  server::ArbiterServer srv(config);
+  std::string err;
+  if (!srv.Start(&err)) {
+    out.error = "server start: " + err;
+    return out;
+  }
+
+  TraceConfig trace;
+  trace.num_apps = agents;
+  trace.seed = seed;
+  const std::vector<AppSpec> apps = TraceGenerator(trace).Generate();
+  std::vector<server::AgentScript> scripts(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    scripts[i].name = "agent-" + std::to_string(i);
+    scripts[i].apps.push_back(apps[i]);
+  }
+
+  std::thread server_thread([&] { out.server_rc = srv.Run(); });
+  const auto t0 = std::chrono::steady_clock::now();
+  out.fleet = server::RunScriptedAgents("127.0.0.1", srv.port(), scripts,
+                                        mute_every);
+  out.elapsed_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  if (!out.fleet.ok) srv.RequestStop();  // do not hang on a broken run
+  server_thread.join();
+  out.stats = srv.stats();
+  out.ok = out.fleet.ok;
+  if (!out.ok) out.error = "fleet: " + out.fleet.error;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int max_agents = 4096;
+  std::uint64_t rounds_override = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--max-agents") max_agents = std::atoi(next());
+    else if (arg == "--rounds")
+      rounds_override = std::strtoull(next(), nullptr, 10);
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--max-agents N] [--rounds N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Server sessions and fleet sockets share this process: budget fds for
+  // both sides up front.
+  net::RaiseFdLimit(2L * max_agents + 256);
+
+  bench::BenchReport report("daemon_rounds");
+  report.Config("cluster", "sim256");
+  report.Config("policy", "Themis");
+  report.Config("apps_per_agent", 1.0);
+
+  struct Population {
+    int agents;
+    std::uint64_t rounds;
+  };
+  const Population kPopulations[] = {{256, 12}, {1024, 8}, {4096, 5}};
+
+  std::printf("%-8s %8s %12s %10s %10s %10s %14s\n", "agents", "rounds",
+              "elapsed_s", "p50_ms", "p99_ms", "max_ms", "agents/sec");
+  bool all_ok = true;
+  for (const Population& pop : kPopulations) {
+    if (pop.agents > max_agents) continue;
+    const std::uint64_t rounds =
+        rounds_override != 0 ? rounds_override : pop.rounds;
+    const PopulationResult r =
+        RunPopulation(pop.agents, rounds, /*bid_timeout_ms=*/5000,
+                      /*mute_every=*/0, /*seed=*/42);
+    if (!r.ok) {
+      std::fprintf(stderr, "bench: %d agents: %s\n", pop.agents,
+                   r.error.c_str());
+      all_ok = false;
+      continue;
+    }
+    const double p50 = PctMs(r.stats.round_latency_ms, 0.50);
+    const double p99 = PctMs(r.stats.round_latency_ms, 0.99);
+    const double mx =
+        r.stats.round_latency_ms.empty()
+            ? 0.0
+            : *std::max_element(r.stats.round_latency_ms.begin(),
+                                r.stats.round_latency_ms.end());
+    const double agents_per_sec =
+        r.elapsed_s > 0.0
+            ? static_cast<double>(r.stats.agent_round_serves) / r.elapsed_s
+            : 0.0;
+    std::printf("%-8d %8llu %12.2f %10.2f %10.2f %10.2f %14.0f\n", pop.agents,
+                static_cast<unsigned long long>(r.stats.rounds), r.elapsed_s,
+                p50, p99, mx, agents_per_sec);
+    const std::string tag = std::to_string(pop.agents);
+    report.Metric("agents_per_sec." + tag, agents_per_sec);
+    report.Metric("round_p50_ms." + tag, p50);
+    report.Metric("round_p99_ms." + tag, p99);
+    report.Metric("round_max_ms." + tag, mx);
+    report.Metric("rounds." + tag, static_cast<double>(r.stats.rounds));
+    report.Metric("peak_sessions." + tag,
+                  static_cast<double>(r.stats.peak_sessions));
+  }
+
+  // Slow-AGENT case: every 4th AGENT never bids. The 200 ms bid deadline
+  // must bound each round; after 3 consecutive misses the mutes are
+  // evicted and later rounds run at full speed again.
+  {
+    const int kSlowAgents = 256;
+    const int kSlowTimeoutMs = 200;
+    if (kSlowAgents <= max_agents) {
+      const PopulationResult r =
+          RunPopulation(kSlowAgents, /*rounds=*/8, kSlowTimeoutMs,
+                        /*mute_every=*/4, /*seed=*/42);
+      if (!r.ok) {
+        std::fprintf(stderr, "bench: slow-agent case: %s\n", r.error.c_str());
+        all_ok = false;
+      } else {
+        const double mx =
+            r.stats.round_latency_ms.empty()
+                ? 0.0
+                : *std::max_element(r.stats.round_latency_ms.begin(),
+                                    r.stats.round_latency_ms.end());
+        std::printf("\nslow-agent case  : %d agents, every 4th mute, %d ms "
+                    "bid deadline\n",
+                    kSlowAgents, kSlowTimeoutMs);
+        std::printf("round latency    : p50 %.2f ms, max %.2f ms "
+                    "(deadline misses %zu, evicted %zu)\n",
+                    PctMs(r.stats.round_latency_ms, 0.50), mx,
+                    r.stats.bid_deadline_misses, r.stats.sessions_evicted);
+        report.Metric("slow_bid_timeout_ms", kSlowTimeoutMs);
+        report.Metric("slow_round_max_ms", mx);
+        report.Metric("slow_deadline_misses",
+                      static_cast<double>(r.stats.bid_deadline_misses));
+        report.Metric("slow_sessions_evicted",
+                      static_cast<double>(r.stats.sessions_evicted));
+      }
+    }
+  }
+
+  report.Write();
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,155 @@
+// themis_arbiterd — the ARBITER as a network daemon.
+//
+//   themis_arbiterd [--host H] [--port P] [--policy NAME] [--cluster SPEC]
+//                   [--lease MIN] [--round-interval MIN] [--seed S]
+//                   [--knob F] [--min-agents N] [--rounds N]
+//                   [--bid-timeout-ms MS] [--max-sessions N] [--print-port]
+//
+// Binds HOST:PORT (port 0 = ephemeral; --print-port echoes the bound port
+// on stdout for scripts), serves the Offer/Bid/Grant protocol of net/wire.h
+// to remote AGENTs, and exits 0 on SIGINT/SIGTERM after draining the
+// in-flight round and sending CLOSE frames. A second signal aborts
+// immediately (exit 130) — the escape hatch when a peer refuses to drain.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "common/stats.h"
+#include "server/server.h"
+#include "sim/experiment.h"
+
+namespace {
+
+using namespace themis;
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--policy "
+               "themis|gandiva|tiresias|slaq|drf]\n"
+               "          [--cluster sim256|testbed50|RxMxG] [--lease MIN]\n"
+               "          [--round-interval MIN] [--seed S] [--knob F]\n"
+               "          [--min-agents N] [--rounds N] [--bid-timeout-ms MS]\n"
+               "          [--max-sessions N] [--print-port]\n",
+               argv0);
+  std::exit(2);
+}
+
+ClusterSpec ParseCluster(const std::string& name) {
+  if (name == "sim256") return ClusterSpec::Simulation256();
+  if (name == "testbed50") return ClusterSpec::Testbed50();
+  int racks = 0, machines = 0, gpus = 0;
+  if (std::sscanf(name.c_str(), "%dx%dx%d", &racks, &machines, &gpus) == 3 &&
+      racks > 0 && machines > 0 && gpus > 0) {
+    const int slot = (gpus % 2 == 0) ? 2 : 1;
+    return ClusterSpec::Uniform(racks, machines, gpus, slot);
+  }
+  std::fprintf(stderr, "unknown cluster: %s\n", name.c_str());
+  std::exit(2);
+}
+
+server::ArbiterServer* g_server = nullptr;
+volatile std::sig_atomic_t g_signal_count = 0;
+
+void OnSignal(int) {
+  g_signal_count = g_signal_count + 1;
+  if (g_signal_count >= 2) _exit(130);  // double-signal escape hatch
+  if (g_server != nullptr) g_server->RequestStop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  server::ServerConfig config;
+  bool print_port = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--host") config.host = next();
+    else if (arg == "--port") config.port = std::atoi(next().c_str());
+    else if (arg == "--policy") {
+      try {
+        config.arbiter.policy = PolicyKindFromString(next());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--cluster")
+      config.arbiter.cluster = ParseCluster(next());
+    else if (arg == "--lease")
+      config.arbiter.lease_minutes = std::atof(next().c_str());
+    else if (arg == "--round-interval")
+      config.arbiter.round_interval_minutes = std::atof(next().c_str());
+    else if (arg == "--seed")
+      config.arbiter.seed = std::strtoull(next().c_str(), nullptr, 10);
+    else if (arg == "--knob")
+      config.arbiter.themis.fairness_knob = std::atof(next().c_str());
+    else if (arg == "--min-agents")
+      config.min_agents = static_cast<std::size_t>(std::atoi(next().c_str()));
+    else if (arg == "--rounds")
+      config.max_rounds = std::strtoull(next().c_str(), nullptr, 10);
+    else if (arg == "--bid-timeout-ms")
+      config.bid_timeout_ms = std::atoi(next().c_str());
+    else if (arg == "--max-sessions")
+      config.max_sessions = static_cast<std::size_t>(std::atoi(next().c_str()));
+    else if (arg == "--print-port") print_port = true;
+    else if (arg == "--help" || arg == "-h") Usage(argv[0]);
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage(argv[0]);
+    }
+  }
+
+  server::ArbiterServer srv(config);
+  std::string err;
+  if (!srv.Start(&err)) {
+    std::fprintf(stderr, "themis_arbiterd: %s\n", err.c_str());
+    return 1;
+  }
+  if (print_port) {
+    std::printf("PORT %d\n", srv.port());
+    std::fflush(stdout);
+  }
+  std::fprintf(stderr, "themis_arbiterd: listening on %s:%d (policy %s)\n",
+               config.host.c_str(), srv.port(),
+               ToString(config.arbiter.policy));
+
+  g_server = &srv;
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  const int rc = srv.Run();
+  g_server = nullptr;
+
+  const server::ServerStats& st = srv.stats();
+  std::printf("rounds           : %llu\n",
+              static_cast<unsigned long long>(st.rounds));
+  if (st.round_latency_ms.empty())
+    std::printf("round latency    : (no rounds completed)\n");
+  else
+    std::printf("round latency    : p50 %.2f ms, p99 %.2f ms\n",
+                Percentile(st.round_latency_ms, 0.50),
+                Percentile(st.round_latency_ms, 0.99));
+  std::printf("sessions         : %zu accepted, %zu peak, %zu evicted, "
+              "%zu refused\n",
+              st.sessions_accepted, st.peak_sessions, st.sessions_evicted,
+              st.sessions_refused);
+  std::printf("frames           : %llu in, %llu out (%zu protocol errors, "
+              "%zu deadline misses)\n",
+              static_cast<unsigned long long>(st.frames_in),
+              static_cast<unsigned long long>(st.frames_out),
+              st.protocol_errors, st.bid_deadline_misses);
+  std::printf("apps             : %zu registered, %zu finished\n",
+              srv.core().apps_registered(), srv.core().apps_finished());
+  std::printf("grant digest     : %016llx (%lld grants, %lld gpus)\n",
+              static_cast<unsigned long long>(srv.core().digest().hash),
+              srv.core().digest().grants, srv.core().digest().gpus);
+  return rc;
+}

@@ -10,6 +10,7 @@
 //              [--stream-trace FILE] [--bounded-metrics]
 //              [--shards N] [--threads N]
 //              [--sweep SCENARIOS.json] [--csv FILE]
+//              [--connect HOST:PORT]
 //
 // Generates (or loads) a trace, runs one simulation, prints the Sec. 8.1
 // metric summary, and optionally archives the trace as CSV for later
@@ -34,6 +35,11 @@
 // not a cluster choice, so it composes with --cluster, with --shards (the
 // partition inherits the mixed machines), and with --sweep (every
 // scenario's cluster is re-priced).
+// With --connect HOST:PORT, the cli becomes an AGENT instead of a
+// simulator: it registers the generated (or --trace-in loaded) apps with a
+// running themis_arbiterd and answers OFFER frames with BIDs until the
+// daemon CLOSEs the session (server/client.h).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +47,7 @@
 
 #include "common/stats.h"
 #include "core/federation.h"
+#include "server/client.h"
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "workload/trace_io.h"
@@ -63,9 +70,97 @@ using namespace themis;
                "          [--stream-trace FILE] [--bounded-metrics]\n"
                "          [--engine event|pass] [--epsilon MIN]\n"
                "          [--shards N] [--threads N]\n"
-               "          [--sweep SCENARIOS.json] [--csv FILE]\n",
+               "          [--sweep SCENARIOS.json] [--csv FILE]\n"
+               "          [--connect HOST:PORT]\n",
                argv0);
   std::exit(2);
+}
+
+bool ParseHostPort(const std::string& s, std::string* host, int* port) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos) return false;
+  *host = s.substr(0, colon);
+  *port = std::atoi(s.c_str() + colon + 1);
+  return *port > 0;
+}
+
+/// AGENT mode: one blocking ArbiterClient serving `apps` until CLOSE.
+int RunAgent(const std::string& host, int port, std::vector<AppSpec> apps) {
+  server::ArbiterClient client;
+  std::string err;
+  if (!client.Connect(host, port, &err)) {
+    std::fprintf(stderr, "connect %s:%d: %s\n", host.c_str(), port,
+                 err.c_str());
+    return 1;
+  }
+  if (!client.Hello("themis_cli", apps, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  std::vector<AppId> live = client.app_ids();
+  std::vector<int> declared;
+  for (const AppSpec& spec : apps) declared.push_back(spec.MaxJobParallelism());
+  std::printf("registered %zu apps as agent %lld\n", live.size(),
+              static_cast<long long>(client.agent_id()));
+
+  net::GrantDigest digest;
+  std::uint64_t rounds = 0;
+  for (;;) {
+    net::WireMessage msg;
+    if (!client.NextMessage(&msg, &err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 1;
+    }
+    switch (msg.type) {
+      case net::MsgType::kOffer: {
+        ++rounds;
+        std::vector<net::BidDemand> demands;
+        for (std::size_t j = 0; j < live.size(); ++j)
+          demands.push_back({live[j], j < declared.size() ? declared[j] : 0});
+        if (!client.Send(net::EncodeBid(msg.offer.round_id, demands), &err)) {
+          std::fprintf(stderr, "%s\n", err.c_str());
+          return 1;
+        }
+        break;
+      }
+      case net::MsgType::kGrant: {
+        for (const Grant& g : msg.grants.grants)
+          digest.Add(msg.grants.round_id, msg.grants.lease_expiry, g);
+        for (AppId id : msg.finished_apps) {
+          std::printf("round %llu: app %d finished\n",
+                      static_cast<unsigned long long>(msg.grants.round_id),
+                      id);
+          const auto it = std::find(live.begin(), live.end(), id);
+          if (it != live.end()) {
+            const std::size_t idx = static_cast<std::size_t>(it - live.begin());
+            live.erase(it);
+            if (idx < declared.size()) declared.erase(declared.begin() + idx);
+          }
+        }
+        if (!client.Send(net::EncodeAck(msg.grants.round_id), &err)) {
+          std::fprintf(stderr, "%s\n", err.c_str());
+          return 1;
+        }
+        break;
+      }
+      case net::MsgType::kError:
+        std::fprintf(stderr, "server error: %s: %s\n", msg.code.c_str(),
+                     msg.detail.c_str());
+        break;
+      case net::MsgType::kClose:
+        std::printf("closed by server: %s\n", msg.reason.c_str());
+        std::printf("rounds served    : %llu\n",
+                    static_cast<unsigned long long>(rounds));
+        std::printf("grant digest     : %016llx (%lld grants, %lld gpus)\n",
+                    static_cast<unsigned long long>(digest.hash),
+                    digest.grants, digest.gpus);
+        return 0;
+      default:
+        std::fprintf(stderr, "unexpected %s frame from server\n",
+                     net::ToString(msg.type));
+        return 1;
+    }
+  }
 }
 
 PolicyKind ParsePolicy(const std::string& name) {
@@ -174,6 +269,8 @@ int main(int argc, char** argv) {
   config.cluster = ClusterSpec::Simulation256();
   config.trace.num_apps = 60;
   std::string trace_in, trace_out, stream_trace, sweep_file, csv_file;
+  std::string connect_host;
+  int connect_port = 0;
   std::vector<GenerationShare> generations;
   int sweep_threads = 0;
   int shards = 0;
@@ -240,6 +337,12 @@ int main(int argc, char** argv) {
     }
     else if (arg == "--epsilon")
       config.sim.auction_epsilon_minutes = std::atof(next().c_str());
+    else if (arg == "--connect") {
+      if (!ParseHostPort(next(), &connect_host, &connect_port)) {
+        std::fprintf(stderr, "--connect expects HOST:PORT\n");
+        return 2;
+      }
+    }
     else if (arg == "--cdf") print_cdf = true;
     else if (arg == "--sweep") sweep_file = next();
     else if (arg == "--csv") csv_file = next();
@@ -329,6 +432,14 @@ int main(int argc, char** argv) {
   if (!trace_out.empty()) {
     WriteTraceCsvFile(trace_out, apps);
     std::printf("wrote %zu apps to %s\n", apps.size(), trace_out.c_str());
+  }
+
+  if (!connect_host.empty()) {
+    if (shards != 0) {
+      std::fprintf(stderr, "--connect cannot be combined with --shards\n");
+      return 2;
+    }
+    return RunAgent(connect_host, connect_port, std::move(apps));
   }
 
   if (shards != 0)

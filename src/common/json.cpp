@@ -1,8 +1,12 @@
 #include "common/json.h"
 
 #include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
+#include <utility>
 
 namespace themis {
 
@@ -287,6 +291,157 @@ std::string JsonValue::StringOr(const std::string& key,
                                 const std::string& fallback) const {
   const JsonValue* v = Find(key);
   return v != nullptr ? v->AsString() : fallback;
+}
+
+JsonValue JsonValue::MakeNull() { return JsonValue{}; }
+
+JsonValue JsonValue::MakeBool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double n) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::MakeObject() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+void JsonValue::Append(JsonValue v) {
+  if (type_ != Type::kArray) TypeFail("array", type_);
+  items_.push_back(std::move(v));
+}
+
+void JsonValue::Set(std::string key, JsonValue v) {
+  if (type_ != Type::kObject) TypeFail("object", type_);
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kNumber: return number_ == other.number_;
+    case Type::kString: return string_ == other.string_;
+    case Type::kArray: return items_ == other.items_;
+    case Type::kObject: return members_ == other.members_;
+  }
+  return false;
+}
+
+std::string JsonWriter::FormatNumber(double d) {
+  if (!std::isfinite(d))
+    throw std::invalid_argument(
+        "json: cannot serialize non-finite number (NaN or Inf)");
+  // Integral doubles within the exact-integer range print as plain
+  // integers: stable, human-readable, and round-trip exact (the parser's
+  // strtod maps the decimal integer back to the same double).
+  // Negative zero must skip the integral fast path: casting through
+  // long long would print "0" and lose the sign bit on the round trip.
+  if (d == static_cast<double>(static_cast<long long>(d)) &&
+      std::abs(d) < 9.007199254740992e15 && !(d == 0.0 && std::signbit(d))) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    return buf;
+  }
+  // Shortest representation that round-trips (std::to_chars guarantee).
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, d);
+  return std::string(buf, res.ptr);
+}
+
+void JsonWriter::WriteString(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  out += '"';
+}
+
+void JsonWriter::Write(const JsonValue& v, std::string& out) {
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      out += "null";
+      break;
+    case JsonValue::Type::kBool:
+      out += v.AsBool() ? "true" : "false";
+      break;
+    case JsonValue::Type::kNumber:
+      out += FormatNumber(v.AsNumber());
+      break;
+    case JsonValue::Type::kString:
+      WriteString(v.AsString(), out);
+      break;
+    case JsonValue::Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& item : v.items()) {
+        if (!first) out += ',';
+        first = false;
+        Write(item, out);
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : v.members()) {
+        if (!first) out += ',';
+        first = false;
+        WriteString(key, out);
+        out += ':';
+        Write(member, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonWriter::Write(const JsonValue& v) {
+  std::string out;
+  Write(v, out);
+  return out;
 }
 
 }  // namespace themis

@@ -1,10 +1,12 @@
-// Minimal JSON reader for scenario files (src/sim/scenario.*).
+// Minimal JSON reader + writer shared by scenario files (src/sim/scenario.*)
+// and the ARBITER wire protocol (src/net/wire.*).
 //
-// Supports the full JSON value grammar (objects, arrays, strings with
-// escapes, numbers, booleans, null) with line-numbered parse errors. It is a
-// *reader*: the experiment layer needs to load ScenarioSpec files, nothing
-// more, so there is no DOM mutation or serialization — BenchReport already
-// owns JSON emission (bench/bench_common.h).
+// The reader supports the full JSON value grammar (objects, arrays, strings
+// with escapes, numbers, booleans, null) with line-numbered parse errors.
+// The writer (JsonWriter) emits compact single-line documents with correct
+// string escaping and shortest round-trip number formatting, so
+// Parse(JsonWriter::Write(v)) reproduces v bit-for-bit — the property the
+// newline-delimited wire codec depends on for grant-stream equivalence.
 #pragma once
 
 #include <string>
@@ -41,6 +43,28 @@ class JsonValue {
   /// Member lookup on an object; nullptr when absent (or not an object).
   const JsonValue* Find(const std::string& key) const;
 
+  /// Builder constructors, so embedders can assemble documents for
+  /// JsonWriter instead of hand-formatting JSON strings.
+  static JsonValue MakeNull();
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double n);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray();
+  static JsonValue MakeObject();
+
+  /// Append an element to an array. Throws on non-arrays.
+  void Append(JsonValue v);
+  /// Append a member to an object (no duplicate-key check, matching the
+  /// parser's duplicate behavior: Find returns the first). Throws on
+  /// non-objects.
+  void Set(std::string key, JsonValue v);
+
+  /// Deep structural equality (numbers compare by ==, so two NaNs differ
+  /// and -0.0 == 0.0 — the writer never emits NaN anyway). Backs the
+  /// Parse(Write(v)) == v round-trip property tests.
+  bool operator==(const JsonValue& other) const;
+  bool operator!=(const JsonValue& other) const { return !(*this == other); }
+
   /// Convenience lookups with defaults, for knob-style scenario fields.
   double NumberOr(const std::string& key, double fallback) const;
   bool BoolOr(const std::string& key, bool fallback) const;
@@ -55,6 +79,30 @@ class JsonValue {
   std::string string_;
   std::vector<JsonValue> items_;
   std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Compact single-line JSON serializer.
+///
+/// Guarantees:
+///   - strings are escaped per RFC 8259 (quote, backslash, and control
+///     characters below 0x20; other bytes pass through, so UTF-8 text
+///     round-trips byte-identically),
+///   - numbers use the shortest representation that parses back to the
+///     same double (std::to_chars), so Parse(Write(v)) == v bit-for-bit,
+///   - non-finite numbers throw std::invalid_argument (JSON cannot
+///     represent them; silently emitting "null" would corrupt frames),
+///   - output contains no newlines, so one document is one wire frame.
+class JsonWriter {
+ public:
+  static std::string Write(const JsonValue& v);
+  static void Write(const JsonValue& v, std::string& out);
+
+  /// The quoted, escaped form of `s` (includes the surrounding quotes).
+  static void WriteString(const std::string& s, std::string& out);
+  /// Shortest round-trip decimal form of `d`. Integral values within the
+  /// exactly-representable range print without fraction or exponent
+  /// ("42", not "4.2e1"). Throws std::invalid_argument on NaN/Inf.
+  static std::string FormatNumber(double d);
 };
 
 }  // namespace themis

@@ -1,0 +1,69 @@
+#include "net/frame.h"
+
+#include "net/socket.h"
+
+namespace themis::net {
+
+bool LineReader::Feed(const char* data, std::size_t n) {
+  if (overflowed_) return false;
+  buf_.append(data, n);
+  // The longest line the buffer can currently hold starts at consumed_; if
+  // that stretch has no '\n' and already exceeds the cap, no future feed
+  // can terminate it within bounds.
+  if (buf_.find('\n', consumed_) == std::string::npos &&
+      buf_.size() - consumed_ > max_line_) {
+    overflowed_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool LineReader::NextLine(std::string& out) {
+  if (overflowed_) return false;
+  const std::size_t nl = buf_.find('\n', consumed_);
+  if (nl == std::string::npos) {
+    // Compact once the consumed prefix dominates, so long-lived sessions
+    // do not accrete every frame they ever received.
+    if (consumed_ > 0 && consumed_ >= buf_.size() / 2) {
+      buf_.erase(0, consumed_);
+      consumed_ = 0;
+    }
+    return false;
+  }
+  std::size_t end = nl;
+  if (end > consumed_ && buf_[end - 1] == '\r') --end;
+  if (end - consumed_ > max_line_) {
+    overflowed_ = true;
+    return false;
+  }
+  out.assign(buf_, consumed_, end - consumed_);
+  consumed_ = nl + 1;
+  return true;
+}
+
+bool WriteBuffer::QueueFrame(std::string_view frame) {
+  if (pending() + frame.size() + 1 > max_bytes_) return false;
+  if (sent_ > 0 && sent_ == buf_.size()) {
+    buf_.clear();
+    sent_ = 0;
+  }
+  buf_.append(frame.data(), frame.size());
+  buf_ += '\n';
+  return true;
+}
+
+bool WriteBuffer::Flush(int fd) {
+  while (sent_ < buf_.size()) {
+    const long w = SendSome(fd, buf_.data() + sent_, buf_.size() - sent_);
+    if (w < 0) return false;
+    if (w == 0) break;  // socket full; poll for POLLOUT
+    sent_ += static_cast<std::size_t>(w);
+  }
+  if (sent_ == buf_.size() && !buf_.empty()) {
+    buf_.clear();
+    sent_ = 0;
+  }
+  return true;
+}
+
+}  // namespace themis::net

@@ -1,0 +1,69 @@
+// Newline-delimited framing for the ARBITER wire protocol.
+//
+// One frame is one JSON document on one line ('\n' terminated; a trailing
+// '\r' is tolerated and stripped). Both directions are bounded: LineReader
+// rejects lines over a configured limit (a malformed or malicious AGENT
+// cannot balloon the daemon's memory with an endless unterminated line),
+// and WriteBuffer caps the bytes queued toward one peer (a consumer that
+// stops reading gets evicted instead of buffering without bound — the
+// naviserver driver-queue discipline applied per connection).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace themis::net {
+
+constexpr std::size_t kDefaultMaxLine = 1 << 20;  // 1 MiB per frame
+
+/// Incremental splitter of a byte stream into '\n'-terminated lines.
+class LineReader {
+ public:
+  explicit LineReader(std::size_t max_line = kDefaultMaxLine)
+      : max_line_(max_line) {}
+
+  /// Append raw bytes. Returns false once the in-progress line exceeds
+  /// max_line: the reader is poisoned (overflowed() stays true, NextLine
+  /// yields nothing) and the connection should be evicted.
+  bool Feed(const char* data, std::size_t n);
+
+  /// Pop the next complete line, without its terminator. Empty lines are
+  /// yielded as empty strings (callers decide whether to skip them).
+  bool NextLine(std::string& out);
+
+  bool overflowed() const { return overflowed_; }
+  std::size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  std::string buf_;
+  std::size_t consumed_ = 0;  // bytes of buf_ already returned as lines
+  std::size_t max_line_;
+  bool overflowed_ = false;
+};
+
+/// Bounded outgoing byte queue with partial-write handling.
+class WriteBuffer {
+ public:
+  explicit WriteBuffer(std::size_t max_bytes = 8u << 20)
+      : max_bytes_(max_bytes) {}
+
+  /// Queue one frame (the '\n' terminator is appended here). Returns false
+  /// when the buffer would exceed its cap — the peer is too slow and the
+  /// caller should evict it.
+  bool QueueFrame(std::string_view frame);
+
+  /// Push buffered bytes into the socket until it stops accepting.
+  /// Returns false on a fatal socket error.
+  bool Flush(int fd);
+
+  bool empty() const { return sent_ == buf_.size(); }
+  std::size_t pending() const { return buf_.size() - sent_; }
+
+ private:
+  std::string buf_;
+  std::size_t sent_ = 0;
+  std::size_t max_bytes_;
+};
+
+}  // namespace themis::net

@@ -1,0 +1,410 @@
+#include "net/wire.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/json.h"
+#include "placement/model_profile.h"
+#include "workload/trace_io.h"
+
+namespace themis::net {
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Decode helpers: every lookup names the frame type and field on failure,
+// so the resulting ERROR frame tells the AGENT exactly what was wrong.
+// --------------------------------------------------------------------------
+
+[[noreturn]] void Fail(const std::string& ctx, const std::string& what) {
+  throw WireError("wire: " + ctx + ": " + what);
+}
+
+const JsonValue& Get(const JsonValue& obj, const char* key,
+                     const std::string& ctx) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) Fail(ctx, std::string("missing field \"") + key + "\"");
+  return *v;
+}
+
+double Num(const JsonValue& obj, const char* key, const std::string& ctx) {
+  const JsonValue& v = Get(obj, key, ctx);
+  if (!v.is_number())
+    Fail(ctx, std::string("field \"") + key + "\" must be a number");
+  return v.AsNumber();
+}
+
+std::int64_t Int(const JsonValue& obj, const char* key,
+                 const std::string& ctx) {
+  const double d = Num(obj, key, ctx);
+  if (d != std::floor(d) || std::abs(d) > 9.0e15)
+    Fail(ctx, std::string("field \"") + key + "\" must be an integer");
+  return static_cast<std::int64_t>(d);
+}
+
+const std::string& Str(const JsonValue& obj, const char* key,
+                       const std::string& ctx) {
+  const JsonValue& v = Get(obj, key, ctx);
+  if (!v.is_string())
+    Fail(ctx, std::string("field \"") + key + "\" must be a string");
+  return v.AsString();
+}
+
+bool Boolean(const JsonValue& obj, const char* key, const std::string& ctx) {
+  const JsonValue& v = Get(obj, key, ctx);
+  if (!v.is_bool())
+    Fail(ctx, std::string("field \"") + key + "\" must be a bool");
+  return v.AsBool();
+}
+
+const std::vector<JsonValue>& Arr(const JsonValue& obj, const char* key,
+                                  const std::string& ctx) {
+  const JsonValue& v = Get(obj, key, ctx);
+  if (!v.is_array())
+    Fail(ctx, std::string("field \"") + key + "\" must be an array");
+  return v.items();
+}
+
+template <typename T>
+std::vector<T> IntVector(const JsonValue& obj, const char* key,
+                         const std::string& ctx) {
+  std::vector<T> out;
+  for (const JsonValue& v : Arr(obj, key, ctx)) {
+    if (!v.is_number())
+      Fail(ctx, std::string("field \"") + key + "\" must hold numbers");
+    out.push_back(static_cast<T>(v.AsNumber()));
+  }
+  return out;
+}
+
+std::vector<double> DoubleVector(const JsonValue& obj, const char* key,
+                                 const std::string& ctx) {
+  std::vector<double> out;
+  for (const JsonValue& v : Arr(obj, key, ctx)) {
+    if (!v.is_number())
+      Fail(ctx, std::string("field \"") + key + "\" must hold numbers");
+    out.push_back(v.AsNumber());
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// AppSpec / JobSpec codec (field set mirrors the trace CSV archive columns,
+// trace_io.cpp WriteAppRows).
+// --------------------------------------------------------------------------
+
+JsonValue JobToJson(const JobSpec& job) {
+  JsonValue j = JsonValue::MakeObject();
+  j.Set("num_tasks", JsonValue::MakeNumber(job.num_tasks));
+  j.Set("gpus_per_task", JsonValue::MakeNumber(job.gpus_per_task));
+  j.Set("total_work", JsonValue::MakeNumber(job.total_work));
+  j.Set("total_iterations", JsonValue::MakeNumber(job.total_iterations));
+  j.Set("loss_scale", JsonValue::MakeNumber(job.loss.scale()));
+  j.Set("loss_decay", JsonValue::MakeNumber(job.loss.decay()));
+  j.Set("loss_floor", JsonValue::MakeNumber(job.loss.floor()));
+  j.Set("model", JsonValue::MakeString(job.model.name));
+  j.Set("max_span", JsonValue::MakeString(ToString(job.max_span)));
+  return j;
+}
+
+JobSpec JobFromJson(const JsonValue& j, const std::string& ctx) {
+  JobSpec job;
+  job.num_tasks = static_cast<int>(Int(j, "num_tasks", ctx));
+  job.gpus_per_task = static_cast<int>(Int(j, "gpus_per_task", ctx));
+  job.total_work = Num(j, "total_work", ctx);
+  job.total_iterations = Num(j, "total_iterations", ctx);
+  if (job.num_tasks <= 0 || job.gpus_per_task <= 0)
+    Fail(ctx, "num_tasks and gpus_per_task must be positive");
+  if (!(job.total_work > 0.0) || !(job.total_iterations > 0.0))
+    Fail(ctx, "total_work and total_iterations must be positive");
+  try {
+    job.loss = LossCurve(Num(j, "loss_scale", ctx), Num(j, "loss_decay", ctx),
+                         Num(j, "loss_floor", ctx));
+    job.model = ModelByName(Str(j, "model", ctx));
+    job.max_span = LocalityLevelFromString(Str(j, "max_span", ctx));
+  } catch (const WireError&) {
+    throw;
+  } catch (const std::exception& e) {
+    Fail(ctx, e.what());
+  }
+  return job;
+}
+
+JsonValue AppToJson(const AppSpec& app) {
+  JsonValue a = JsonValue::MakeObject();
+  a.Set("name", JsonValue::MakeString(app.name));
+  a.Set("arrival", JsonValue::MakeNumber(app.arrival));
+  a.Set("tuner", JsonValue::MakeString(ToString(app.tuner)));
+  a.Set("target_loss", JsonValue::MakeNumber(app.target_loss));
+  JsonValue jobs = JsonValue::MakeArray();
+  for (const JobSpec& job : app.jobs) jobs.Append(JobToJson(job));
+  a.Set("jobs", std::move(jobs));
+  return a;
+}
+
+AppSpec AppFromJson(const JsonValue& a, const std::string& ctx) {
+  AppSpec app;
+  app.name = Str(a, "name", ctx);
+  app.arrival = Num(a, "arrival", ctx);
+  try {
+    app.tuner = TunerKindFromString(Str(a, "tuner", ctx));
+  } catch (const WireError&) {
+    throw;
+  } catch (const std::exception& e) {
+    Fail(ctx, e.what());
+  }
+  app.target_loss = Num(a, "target_loss", ctx);
+  const auto& jobs = Arr(a, "jobs", ctx);
+  if (jobs.empty()) Fail(ctx, "app must declare at least one job");
+  for (const JsonValue& j : jobs) app.jobs.push_back(JobFromJson(j, ctx));
+  return app;
+}
+
+template <typename T>
+JsonValue NumberArray(const std::vector<T>& xs) {
+  JsonValue arr = JsonValue::MakeArray();
+  for (const T& x : xs)
+    arr.Append(JsonValue::MakeNumber(static_cast<double>(x)));
+  return arr;
+}
+
+}  // namespace
+
+const char* ToString(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kWelcome: return "welcome";
+    case MsgType::kOffer: return "offer";
+    case MsgType::kBid: return "bid";
+    case MsgType::kGrant: return "grant";
+    case MsgType::kAck: return "ack";
+    case MsgType::kError: return "error";
+    case MsgType::kClose: return "close";
+  }
+  return "?";
+}
+
+std::string EncodeHello(const std::string& agent_name,
+                        const std::vector<AppSpec>& apps) {
+  JsonValue m = JsonValue::MakeObject();
+  m.Set("type", JsonValue::MakeString("hello"));
+  m.Set("agent", JsonValue::MakeString(agent_name));
+  JsonValue arr = JsonValue::MakeArray();
+  for (const AppSpec& app : apps) arr.Append(AppToJson(app));
+  m.Set("apps", std::move(arr));
+  return JsonWriter::Write(m);
+}
+
+std::string EncodeWelcome(std::int64_t agent_id,
+                          const std::vector<AppId>& app_ids) {
+  JsonValue m = JsonValue::MakeObject();
+  m.Set("type", JsonValue::MakeString("welcome"));
+  m.Set("protocol", JsonValue::MakeNumber(kProtocolVersion));
+  m.Set("agent_id", JsonValue::MakeNumber(static_cast<double>(agent_id)));
+  m.Set("app_ids", NumberArray(app_ids));
+  return JsonWriter::Write(m);
+}
+
+std::string EncodeOffer(const ResourceOffer& offer) {
+  JsonValue m = JsonValue::MakeObject();
+  m.Set("type", JsonValue::MakeString("offer"));
+  m.Set("round", JsonValue::MakeNumber(static_cast<double>(offer.round_id)));
+  m.Set("time", JsonValue::MakeNumber(offer.time));
+  m.Set("lease", JsonValue::MakeNumber(offer.lease_duration));
+  m.Set("gpus", NumberArray(offer.gpus));
+  m.Set("free_per_machine", NumberArray(offer.free_per_machine));
+  m.Set("machine_speeds", NumberArray(offer.machine_speeds));
+  return JsonWriter::Write(m);
+}
+
+std::string EncodeBid(std::uint64_t round_id,
+                      const std::vector<BidDemand>& demands) {
+  JsonValue m = JsonValue::MakeObject();
+  m.Set("type", JsonValue::MakeString("bid"));
+  m.Set("round", JsonValue::MakeNumber(static_cast<double>(round_id)));
+  JsonValue arr = JsonValue::MakeArray();
+  for (const BidDemand& d : demands) {
+    JsonValue e = JsonValue::MakeObject();
+    e.Set("app", JsonValue::MakeNumber(static_cast<double>(d.app)));
+    e.Set("unmet_gpus", JsonValue::MakeNumber(d.unmet_gpus));
+    arr.Append(std::move(e));
+  }
+  m.Set("demands", std::move(arr));
+  return JsonWriter::Write(m);
+}
+
+std::string EncodeGrant(const GrantSet& grants,
+                        const std::vector<AppId>& finished_apps) {
+  JsonValue m = JsonValue::MakeObject();
+  m.Set("type", JsonValue::MakeString("grant"));
+  m.Set("round", JsonValue::MakeNumber(static_cast<double>(grants.round_id)));
+  m.Set("lease_expiry", JsonValue::MakeNumber(grants.lease_expiry));
+  JsonValue arr = JsonValue::MakeArray();
+  for (const Grant& g : grants.grants) {
+    JsonValue e = JsonValue::MakeObject();
+    e.Set("app", JsonValue::MakeNumber(static_cast<double>(g.app)));
+    e.Set("job", JsonValue::MakeNumber(static_cast<double>(g.job)));
+    e.Set("gpus", NumberArray(g.gpus));
+    arr.Append(std::move(e));
+  }
+  m.Set("grants", std::move(arr));
+  JsonValue diag = JsonValue::MakeObject();
+  diag.Set("offered", JsonValue::MakeNumber(grants.diagnostics.offered_gpus));
+  diag.Set("granted", JsonValue::MakeNumber(grants.diagnostics.granted_gpus));
+  diag.Set("leftover",
+           JsonValue::MakeNumber(grants.diagnostics.leftover_gpus));
+  diag.Set("auction_ran",
+           JsonValue::MakeBool(grants.diagnostics.auction_ran));
+  diag.Set("participants",
+           JsonValue::MakeNumber(grants.diagnostics.auction_participants));
+  m.Set("diagnostics", std::move(diag));
+  m.Set("finished_apps", NumberArray(finished_apps));
+  return JsonWriter::Write(m);
+}
+
+std::string EncodeAck(std::uint64_t round_id) {
+  JsonValue m = JsonValue::MakeObject();
+  m.Set("type", JsonValue::MakeString("ack"));
+  m.Set("round", JsonValue::MakeNumber(static_cast<double>(round_id)));
+  return JsonWriter::Write(m);
+}
+
+std::string EncodeError(const std::string& code, const std::string& detail) {
+  JsonValue m = JsonValue::MakeObject();
+  m.Set("type", JsonValue::MakeString("error"));
+  m.Set("code", JsonValue::MakeString(code));
+  m.Set("detail", JsonValue::MakeString(detail));
+  return JsonWriter::Write(m);
+}
+
+std::string EncodeClose(const std::string& reason) {
+  JsonValue m = JsonValue::MakeObject();
+  m.Set("type", JsonValue::MakeString("close"));
+  m.Set("reason", JsonValue::MakeString(reason));
+  return JsonWriter::Write(m);
+}
+
+WireMessage ParseWireMessage(const std::string& line) {
+  JsonValue doc;
+  try {
+    doc = JsonValue::Parse(line);
+  } catch (const std::exception& e) {
+    throw WireError(std::string("wire: frame is not valid JSON: ") + e.what());
+  }
+  if (!doc.is_object()) throw WireError("wire: frame must be a JSON object");
+  const JsonValue* type = doc.Find("type");
+  if (type == nullptr || !type->is_string())
+    throw WireError("wire: frame missing string field \"type\"");
+  const std::string& t = type->AsString();
+
+  WireMessage msg;
+  if (t == "hello") {
+    msg.type = MsgType::kHello;
+    msg.agent_name = Str(doc, "agent", "hello");
+    for (const JsonValue& a : Arr(doc, "apps", "hello"))
+      msg.apps.push_back(AppFromJson(a, "hello.apps"));
+  } else if (t == "welcome") {
+    msg.type = MsgType::kWelcome;
+    msg.protocol = static_cast<int>(Int(doc, "protocol", "welcome"));
+    msg.agent_id = Int(doc, "agent_id", "welcome");
+    msg.app_ids = IntVector<AppId>(doc, "app_ids", "welcome");
+  } else if (t == "offer") {
+    msg.type = MsgType::kOffer;
+    msg.offer.round_id = static_cast<std::uint64_t>(Int(doc, "round", "offer"));
+    msg.offer.time = Num(doc, "time", "offer");
+    msg.offer.lease_duration = Num(doc, "lease", "offer");
+    msg.offer.gpus = IntVector<GpuId>(doc, "gpus", "offer");
+    msg.offer.free_per_machine = IntVector<int>(doc, "free_per_machine",
+                                                "offer");
+    msg.offer.machine_speeds = DoubleVector(doc, "machine_speeds", "offer");
+  } else if (t == "bid") {
+    msg.type = MsgType::kBid;
+    msg.round_id = static_cast<std::uint64_t>(Int(doc, "round", "bid"));
+    for (const JsonValue& d : Arr(doc, "demands", "bid")) {
+      BidDemand demand;
+      demand.app = static_cast<AppId>(Int(d, "app", "bid.demands"));
+      demand.unmet_gpus =
+          static_cast<int>(Int(d, "unmet_gpus", "bid.demands"));
+      msg.demands.push_back(demand);
+    }
+  } else if (t == "grant") {
+    msg.type = MsgType::kGrant;
+    msg.round_id = static_cast<std::uint64_t>(Int(doc, "round", "grant"));
+    msg.grants.round_id = msg.round_id;
+    msg.grants.lease_expiry = Num(doc, "lease_expiry", "grant");
+    for (const JsonValue& g : Arr(doc, "grants", "grant")) {
+      Grant grant;
+      grant.app = static_cast<AppId>(Int(g, "app", "grant.grants"));
+      grant.job = static_cast<JobId>(Int(g, "job", "grant.grants"));
+      grant.gpus = IntVector<GpuId>(g, "gpus", "grant.grants");
+      msg.grants.grants.push_back(std::move(grant));
+    }
+    const JsonValue& diag = Get(doc, "diagnostics", "grant");
+    msg.grants.diagnostics.offered_gpus =
+        static_cast<int>(Int(diag, "offered", "grant.diagnostics"));
+    msg.grants.diagnostics.granted_gpus =
+        static_cast<int>(Int(diag, "granted", "grant.diagnostics"));
+    msg.grants.diagnostics.leftover_gpus =
+        static_cast<int>(Int(diag, "leftover", "grant.diagnostics"));
+    msg.grants.diagnostics.auction_ran =
+        Boolean(diag, "auction_ran", "grant.diagnostics");
+    msg.grants.diagnostics.auction_participants =
+        static_cast<int>(Int(diag, "participants", "grant.diagnostics"));
+    msg.finished_apps = IntVector<AppId>(doc, "finished_apps", "grant");
+  } else if (t == "ack") {
+    msg.type = MsgType::kAck;
+    msg.round_id = static_cast<std::uint64_t>(Int(doc, "round", "ack"));
+  } else if (t == "error") {
+    msg.type = MsgType::kError;
+    msg.code = Str(doc, "code", "error");
+    msg.detail = Str(doc, "detail", "error");
+  } else if (t == "close") {
+    msg.type = MsgType::kClose;
+    msg.reason = Str(doc, "reason", "close");
+  } else {
+    throw WireError("wire: unknown message type \"" + t + "\"");
+  }
+  return msg;
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void FnvMix(std::uint64_t& h, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (i * 8)) & 0xFF;
+    h *= kFnvPrime;
+  }
+}
+
+std::uint64_t DoubleBits(double d) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof d);
+  __builtin_memcpy(&bits, &d, sizeof bits);
+  return bits;
+}
+
+}  // namespace
+
+void GrantDigest::Add(std::uint64_t round_id, double lease_expiry,
+                      const Grant& g) {
+  std::uint64_t h = kFnvOffset;
+  FnvMix(h, round_id);
+  FnvMix(h, DoubleBits(lease_expiry));
+  FnvMix(h, static_cast<std::uint64_t>(g.app));
+  FnvMix(h, static_cast<std::uint64_t>(g.job));
+  for (GpuId gpu : g.gpus) FnvMix(h, static_cast<std::uint64_t>(gpu));
+  hash ^= h;
+  ++grants;
+  gpus += static_cast<long long>(g.gpus.size());
+}
+
+void GrantDigest::Merge(const GrantDigest& other) {
+  hash ^= other.hash;
+  grants += other.grants;
+  gpus += other.gpus;
+}
+
+}  // namespace themis::net

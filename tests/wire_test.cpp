@@ -1,0 +1,389 @@
+// Tests for the wire layer under the ARBITER daemon:
+//
+//   - JsonWriter (common/json.h): Parse(Write(v)) == v property tests —
+//     shortest round-trip number formatting (including random bit
+//     patterns), RFC 8259 string escaping, single-line output, non-finite
+//     rejection.
+//   - LineReader / WriteBuffer (net/frame.h): incremental '\n' framing,
+//     CRLF tolerance, oversize poisoning, bounded write queues.
+//   - Wire codec (net/wire.h): encode/parse round trips for all eight
+//     frame types (re-encoding a parsed frame reproduces the original
+//     bytes), and a malformed-input table where every bad line draws a
+//     pointed WireError instead of a crash.
+//   - GrantDigest: order insensitivity, Merge, and distinct grants not
+//     cancelling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <string>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <vector>
+
+#include "common/json.h"
+#include "net/frame.h"
+#include "net/wire.h"
+#include "workload/trace_gen.h"
+
+namespace themis {
+namespace {
+
+std::uint64_t Bits(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
+
+double RoundTrip(double d) {
+  return JsonValue::Parse(JsonWriter::FormatNumber(d)).AsNumber();
+}
+
+TEST(JsonWriter, IntegralDoublesPrintAsIntegers) {
+  EXPECT_EQ(JsonWriter::FormatNumber(0.0), "0");
+  EXPECT_EQ(JsonWriter::FormatNumber(42.0), "42");
+  EXPECT_EQ(JsonWriter::FormatNumber(-7.0), "-7");
+  // Largest exactly-representable integer still prints without exponent.
+  const double big = 9007199254740991.0;  // 2^53 - 1
+  EXPECT_EQ(JsonWriter::FormatNumber(big), "9007199254740991");
+  EXPECT_EQ(Bits(RoundTrip(big)), Bits(big));
+}
+
+TEST(JsonWriter, NumbersRoundTripBitForBit) {
+  const double cases[] = {0.1,
+                          1.0 / 3.0,
+                          1e-9,
+                          6.02214076e23,
+                          5e-324,  // smallest denormal
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::min(),
+                          -0.0,
+                          3.141592653589793,
+                          2.5,
+                          1e300};
+  for (double d : cases)
+    EXPECT_EQ(Bits(RoundTrip(d)), Bits(d)) << JsonWriter::FormatNumber(d);
+}
+
+TEST(JsonWriter, RandomBitPatternsRoundTrip) {
+  std::mt19937_64 rng(20260808);
+  int tested = 0;
+  while (tested < 2000) {
+    double d = 0.0;
+    const std::uint64_t u = rng();
+    std::memcpy(&d, &u, sizeof d);
+    if (!std::isfinite(d)) continue;
+    ++tested;
+    EXPECT_EQ(Bits(RoundTrip(d)), Bits(d)) << u;
+  }
+}
+
+TEST(JsonWriter, NonFiniteThrows) {
+  EXPECT_THROW(JsonWriter::FormatNumber(std::nan("")), std::invalid_argument);
+  EXPECT_THROW(JsonWriter::FormatNumber(
+                   std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(JsonWriter::Write(JsonValue::MakeNumber(
+                   -std::numeric_limits<double>::infinity())),
+               std::invalid_argument);
+}
+
+TEST(JsonWriter, StringsRoundTripAndStayOnOneLine) {
+  const std::string cases[] = {"",
+                               "plain",
+                               "with \"quotes\"",
+                               "back\\slash",
+                               "line\nbreak\ttab\rcr",
+                               std::string("nul\0byte", 8),
+                               "\x01\x1f",
+                               "h\xc3\xa9llo \xe2\x98\x83"};  // UTF-8
+  for (const std::string& s : cases) {
+    const std::string doc = JsonWriter::Write(JsonValue::MakeString(s));
+    EXPECT_EQ(doc.find('\n'), std::string::npos) << doc;
+    EXPECT_EQ(JsonValue::Parse(doc).AsString(), s) << doc;
+  }
+}
+
+TEST(JsonWriter, DocumentsRoundTripStructurally) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("name", JsonValue::MakeString("round \"7\""));
+  obj.Set("pi", JsonValue::MakeNumber(3.141592653589793));
+  obj.Set("n", JsonValue::MakeNumber(-12.0));
+  obj.Set("flag", JsonValue::MakeBool(true));
+  obj.Set("nothing", JsonValue::MakeNull());
+  JsonValue arr = JsonValue::MakeArray();
+  arr.Append(JsonValue::MakeNumber(0.1));
+  arr.Append(JsonValue::MakeBool(false));
+  JsonValue inner = JsonValue::MakeObject();
+  inner.Set("k", JsonValue::MakeString("v"));
+  arr.Append(std::move(inner));
+  obj.Set("items", std::move(arr));
+
+  const std::string doc = JsonWriter::Write(obj);
+  const JsonValue back = JsonValue::Parse(doc);
+  EXPECT_EQ(back, obj);
+  // Write is deterministic: a reparsed document reproduces the same bytes.
+  EXPECT_EQ(JsonWriter::Write(back), doc);
+}
+
+TEST(LineReader, SplitsLinesAcrossFeeds) {
+  net::LineReader reader;
+  std::string line;
+  EXPECT_TRUE(reader.Feed("ab", 2));
+  EXPECT_FALSE(reader.NextLine(line));
+  EXPECT_TRUE(reader.Feed("c\nde\nf", 6));
+  ASSERT_TRUE(reader.NextLine(line));
+  EXPECT_EQ(line, "abc");
+  ASSERT_TRUE(reader.NextLine(line));
+  EXPECT_EQ(line, "de");
+  EXPECT_FALSE(reader.NextLine(line));  // "f" incomplete
+  EXPECT_EQ(reader.buffered(), 1u);
+}
+
+TEST(LineReader, StripsCarriageReturnAndYieldsEmptyLines) {
+  net::LineReader reader;
+  std::string line;
+  const std::string in = "x\r\n\ny\n";
+  EXPECT_TRUE(reader.Feed(in.data(), in.size()));
+  ASSERT_TRUE(reader.NextLine(line));
+  EXPECT_EQ(line, "x");
+  ASSERT_TRUE(reader.NextLine(line));
+  EXPECT_EQ(line, "");
+  ASSERT_TRUE(reader.NextLine(line));
+  EXPECT_EQ(line, "y");
+}
+
+TEST(LineReader, OversizedLinePoisonsTheReader) {
+  net::LineReader reader(/*max_line=*/8);
+  const std::string big(9, 'a');
+  EXPECT_FALSE(reader.Feed(big.data(), big.size()));
+  EXPECT_TRUE(reader.overflowed());
+  // Even a later newline cannot un-poison it.
+  EXPECT_FALSE(reader.Feed("\n", 1));
+  std::string line;
+  EXPECT_FALSE(reader.NextLine(line));
+}
+
+TEST(LineReader, LineAtExactlyMaxLinePasses) {
+  net::LineReader reader(/*max_line=*/8);
+  const std::string in = std::string(8, 'b') + "\n";
+  EXPECT_TRUE(reader.Feed(in.data(), in.size()));
+  std::string line;
+  ASSERT_TRUE(reader.NextLine(line));
+  EXPECT_EQ(line, std::string(8, 'b'));
+}
+
+TEST(WriteBuffer, CapsQueuedBytes) {
+  net::WriteBuffer buf(/*max_bytes=*/16);
+  EXPECT_TRUE(buf.QueueFrame("0123456789"));  // 11 with terminator
+  EXPECT_FALSE(buf.QueueFrame("0123456789"));  // would exceed 16
+  EXPECT_TRUE(buf.QueueFrame("abc"));          // 11 + 4 = 15 fits
+  EXPECT_EQ(buf.pending(), 15u);
+}
+
+TEST(WriteBuffer, FlushDeliversFramesOverASocketPair) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  net::WriteBuffer buf;
+  EXPECT_TRUE(buf.QueueFrame("hello"));
+  EXPECT_TRUE(buf.QueueFrame("world"));
+  EXPECT_TRUE(buf.Flush(fds[0]));
+  EXPECT_TRUE(buf.empty());
+  char got[64] = {};
+  const ssize_t n = read(fds[1], got, sizeof got);
+  EXPECT_EQ(std::string(got, static_cast<std::size_t>(n)), "hello\nworld\n");
+  close(fds[0]);
+  close(fds[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec round trips. The strongest property: re-encoding a parsed
+// frame reproduces the original bytes, so nothing is lost or reformatted.
+// ---------------------------------------------------------------------------
+
+std::vector<AppSpec> SampleApps(int n) {
+  TraceConfig trace;
+  trace.num_apps = n;
+  trace.seed = 7;
+  return TraceGenerator(trace).Generate();
+}
+
+TEST(WireCodec, HelloRoundTripsGeneratedApps) {
+  const std::vector<AppSpec> apps = SampleApps(4);
+  const std::string frame = net::EncodeHello("agent-a", apps);
+  const net::WireMessage msg = net::ParseWireMessage(frame);
+  ASSERT_EQ(msg.type, net::MsgType::kHello);
+  EXPECT_EQ(msg.agent_name, "agent-a");
+  ASSERT_EQ(msg.apps.size(), apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    EXPECT_EQ(msg.apps[i].name, apps[i].name);
+    EXPECT_EQ(msg.apps[i].jobs.size(), apps[i].jobs.size());
+    EXPECT_EQ(msg.apps[i].target_loss, apps[i].target_loss);
+  }
+  EXPECT_EQ(net::EncodeHello(msg.agent_name, msg.apps), frame);
+}
+
+TEST(WireCodec, WelcomeRoundTrips) {
+  const std::string frame = net::EncodeWelcome(7, {0, 1, 5});
+  const net::WireMessage msg = net::ParseWireMessage(frame);
+  ASSERT_EQ(msg.type, net::MsgType::kWelcome);
+  EXPECT_EQ(msg.protocol, net::kProtocolVersion);
+  EXPECT_EQ(msg.agent_id, 7);
+  EXPECT_EQ(msg.app_ids, (std::vector<AppId>{0, 1, 5}));
+  EXPECT_EQ(net::EncodeWelcome(msg.agent_id, msg.app_ids), frame);
+}
+
+TEST(WireCodec, OfferRoundTripsDoublesExactly) {
+  ResourceOffer offer;
+  offer.round_id = 12;
+  offer.time = 62.500000000000014;  // not representable in short decimal
+  offer.lease_duration = 20.0;
+  offer.gpus = {0, 3, 5, 17};
+  offer.free_per_machine = {2, 0, 2};
+  offer.machine_speeds = {1.0, 0.5, 1.0 / 3.0};
+  const std::string frame = net::EncodeOffer(offer);
+  const net::WireMessage msg = net::ParseWireMessage(frame);
+  ASSERT_EQ(msg.type, net::MsgType::kOffer);
+  EXPECT_EQ(msg.offer.round_id, 12u);
+  EXPECT_EQ(Bits(msg.offer.time), Bits(offer.time));
+  EXPECT_EQ(msg.offer.gpus, offer.gpus);
+  EXPECT_EQ(msg.offer.free_per_machine, offer.free_per_machine);
+  ASSERT_EQ(msg.offer.machine_speeds.size(), offer.machine_speeds.size());
+  for (std::size_t i = 0; i < offer.machine_speeds.size(); ++i)
+    EXPECT_EQ(Bits(msg.offer.machine_speeds[i]),
+              Bits(offer.machine_speeds[i]));
+  EXPECT_EQ(net::EncodeOffer(msg.offer), frame);
+}
+
+TEST(WireCodec, BidAckErrorCloseRoundTrip) {
+  const std::string bid = net::EncodeBid(9, {{2, 8}, {5, 0}});
+  net::WireMessage msg = net::ParseWireMessage(bid);
+  ASSERT_EQ(msg.type, net::MsgType::kBid);
+  EXPECT_EQ(msg.round_id, 9u);
+  ASSERT_EQ(msg.demands.size(), 2u);
+  EXPECT_EQ(msg.demands[0].app, 2);
+  EXPECT_EQ(msg.demands[0].unmet_gpus, 8);
+  EXPECT_EQ(net::EncodeBid(msg.round_id, msg.demands), bid);
+
+  msg = net::ParseWireMessage(net::EncodeAck(3));
+  ASSERT_EQ(msg.type, net::MsgType::kAck);
+  EXPECT_EQ(msg.round_id, 3u);
+
+  msg = net::ParseWireMessage(net::EncodeError("stale-bid", "round 2 != 3"));
+  ASSERT_EQ(msg.type, net::MsgType::kError);
+  EXPECT_EQ(msg.code, "stale-bid");
+  EXPECT_EQ(msg.detail, "round 2 != 3");
+
+  msg = net::ParseWireMessage(net::EncodeClose("apps finished"));
+  ASSERT_EQ(msg.type, net::MsgType::kClose);
+  EXPECT_EQ(msg.reason, "apps finished");
+}
+
+TEST(WireCodec, GrantRoundTripsWithDiagnostics) {
+  GrantSet grants;
+  grants.round_id = 4;
+  grants.lease_expiry = 40.0;
+  grants.grants.push_back({1, 0, {0, 1, 2, 3}});
+  grants.grants.push_back({2, 1, {7}});
+  grants.diagnostics.offered_gpus = 5;
+  grants.diagnostics.granted_gpus = 5;
+  grants.diagnostics.leftover_gpus = 0;
+  grants.diagnostics.auction_ran = true;
+  grants.diagnostics.auction_participants = 2;
+  const std::string frame = net::EncodeGrant(grants, {2});
+  const net::WireMessage msg = net::ParseWireMessage(frame);
+  ASSERT_EQ(msg.type, net::MsgType::kGrant);
+  EXPECT_EQ(msg.grants.round_id, 4u);
+  EXPECT_EQ(msg.grants.lease_expiry, 40.0);
+  ASSERT_EQ(msg.grants.grants.size(), 2u);
+  EXPECT_EQ(msg.grants.grants[0].app, 1);
+  EXPECT_EQ(msg.grants.grants[0].gpus, (std::vector<GpuId>{0, 1, 2, 3}));
+  EXPECT_TRUE(msg.grants.diagnostics.auction_ran);
+  EXPECT_EQ(msg.grants.diagnostics.auction_participants, 2);
+  EXPECT_EQ(msg.finished_apps, (std::vector<AppId>{2}));
+  EXPECT_EQ(net::EncodeGrant(msg.grants, msg.finished_apps), frame);
+}
+
+TEST(WireCodec, MalformedFramesDrawPointedErrors) {
+  struct Case {
+    const char* line;
+    const char* expect;  // substring of the WireError message
+  };
+  const Case cases[] = {
+      {"not json at all", "wire"},
+      {"[1,2,3]", "object"},
+      {"{}", "type"},
+      {"{\"type\":\"teapot\"}", "teapot"},
+      {"{\"type\":42}", "type"},
+      {"{\"type\":\"hello\"}", "agent"},
+      {"{\"type\":\"hello\",\"agent\":\"a\",\"apps\":7}", "apps"},
+      {"{\"type\":\"hello\",\"agent\":\"a\",\"apps\":[{}]}", "name"},
+      {"{\"type\":\"bid\",\"round\":1}", "demands"},
+      {"{\"type\":\"bid\",\"round\":1,\"demands\":[{\"gpus\":2}]}", "app"},
+      {"{\"type\":\"bid\",\"round\":0.5,\"demands\":[]}", "round"},
+      {"{\"type\":\"bid\",\"round\":1e17,\"demands\":[]}", "round"},
+      {"{\"type\":\"offer\",\"round\":1}", "time"},
+      {"{\"type\":\"close\"}", "reason"},
+      {"{\"type\":\"error\",\"code\":\"x\"}", "detail"},
+  };
+  for (const Case& c : cases) {
+    try {
+      net::ParseWireMessage(c.line);
+      FAIL() << "expected WireError for: " << c.line;
+    } catch (const net::WireError& e) {
+      EXPECT_NE(std::string(e.what()).find(c.expect), std::string::npos)
+          << c.line << " -> " << e.what();
+    }
+  }
+}
+
+TEST(WireCodec, TruncatedHelloIsRejectedNotCrashed) {
+  const std::string frame = net::EncodeHello("a", SampleApps(1));
+  for (std::size_t cut : {frame.size() / 4, frame.size() / 2,
+                          frame.size() - 1}) {
+    EXPECT_THROW(net::ParseWireMessage(frame.substr(0, cut)), net::WireError)
+        << cut;
+  }
+}
+
+TEST(GrantDigest, OrderInsensitiveAndMergeable) {
+  const Grant a{1, 0, {0, 1}};
+  const Grant b{2, 1, {5}};
+  const Grant c{3, 0, {2, 3, 4}};
+
+  net::GrantDigest fwd, rev;
+  fwd.Add(1, 20.0, a);
+  fwd.Add(1, 20.0, b);
+  fwd.Add(2, 25.0, c);
+  rev.Add(2, 25.0, c);
+  rev.Add(1, 20.0, b);
+  rev.Add(1, 20.0, a);
+  EXPECT_TRUE(fwd == rev);
+  EXPECT_EQ(fwd.grants, 3);
+  EXPECT_EQ(fwd.gpus, 6);
+
+  net::GrantDigest left, right;
+  left.Add(1, 20.0, a);
+  right.Add(1, 20.0, b);
+  right.Add(2, 25.0, c);
+  left.Merge(right);
+  EXPECT_TRUE(left == fwd);
+
+  // Distinct grants do not cancel to the empty digest.
+  net::GrantDigest two;
+  two.Add(1, 20.0, a);
+  two.Add(1, 20.0, b);
+  EXPECT_NE(two.hash, 0u);
+  // The same grant twice cancels in the XOR but the counters catch it.
+  net::GrantDigest dup;
+  dup.Add(1, 20.0, a);
+  dup.Add(1, 20.0, a);
+  EXPECT_EQ(dup.hash, 0u);
+  EXPECT_FALSE(dup == net::GrantDigest{});
+}
+
+}  // namespace
+}  // namespace themis
