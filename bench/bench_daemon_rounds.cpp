@@ -147,13 +147,9 @@ int main(int argc, char** argv) {
       all_ok = false;
       continue;
     }
-    const double p50 = PctMs(r.stats.round_latency_ms, 0.50);
-    const double p99 = PctMs(r.stats.round_latency_ms, 0.99);
-    const double mx =
-        r.stats.round_latency_ms.empty()
-            ? 0.0
-            : *std::max_element(r.stats.round_latency_ms.begin(),
-                                r.stats.round_latency_ms.end());
+    const double p50 = PctMs(r.stats.round_latency_ms.items(), 0.50);
+    const double p99 = PctMs(r.stats.round_latency_ms.items(), 0.99);
+    const double mx = r.stats.round_latency_summary.max();
     const double agents_per_sec =
         r.elapsed_s > 0.0
             ? static_cast<double>(r.stats.agent_round_serves) / r.elapsed_s
@@ -185,17 +181,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bench: slow-agent case: %s\n", r.error.c_str());
         all_ok = false;
       } else {
-        const double mx =
-            r.stats.round_latency_ms.empty()
-                ? 0.0
-                : *std::max_element(r.stats.round_latency_ms.begin(),
-                                    r.stats.round_latency_ms.end());
+        const double mx = r.stats.round_latency_summary.max();
         std::printf("\nslow-agent case  : %d agents, every 4th mute, %d ms "
                     "bid deadline\n",
                     kSlowAgents, kSlowTimeoutMs);
         std::printf("round latency    : p50 %.2f ms, max %.2f ms "
                     "(deadline misses %zu, evicted %zu)\n",
-                    PctMs(r.stats.round_latency_ms, 0.50), mx,
+                    PctMs(r.stats.round_latency_ms.items(), 0.50), mx,
                     r.stats.bid_deadline_misses, r.stats.sessions_evicted);
         report.Metric("slow_bid_timeout_ms", kSlowTimeoutMs);
         report.Metric("slow_round_max_ms", mx);

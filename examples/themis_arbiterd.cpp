@@ -3,7 +3,8 @@
 //   themis_arbiterd [--host H] [--port P] [--policy NAME] [--cluster SPEC]
 //                   [--lease MIN] [--round-interval MIN] [--seed S]
 //                   [--knob F] [--min-agents N] [--rounds N]
-//                   [--bid-timeout-ms MS] [--max-sessions N] [--print-port]
+//                   [--bid-timeout-ms MS] [--hello-timeout-ms MS]
+//                   [--max-sessions N] [--print-port]
 //
 // Binds HOST:PORT (port 0 = ephemeral; --print-port echoes the bound port
 // on stdout for scripts), serves the Offer/Bid/Grant protocol of net/wire.h
@@ -33,7 +34,8 @@ using namespace themis;
                "          [--cluster sim256|testbed50|RxMxG] [--lease MIN]\n"
                "          [--round-interval MIN] [--seed S] [--knob F]\n"
                "          [--min-agents N] [--rounds N] [--bid-timeout-ms MS]\n"
-               "          [--max-sessions N] [--print-port]\n",
+               "          [--hello-timeout-ms MS] [--max-sessions N] "
+               "[--print-port]\n",
                argv0);
   std::exit(2);
 }
@@ -97,6 +99,8 @@ int main(int argc, char** argv) {
       config.max_rounds = std::strtoull(next().c_str(), nullptr, 10);
     else if (arg == "--bid-timeout-ms")
       config.bid_timeout_ms = std::atoi(next().c_str());
+    else if (arg == "--hello-timeout-ms")
+      config.hello_timeout_ms = std::atoi(next().c_str());
     else if (arg == "--max-sessions")
       config.max_sessions = static_cast<std::size_t>(std::atoi(next().c_str()));
     else if (arg == "--print-port") print_port = true;
@@ -131,12 +135,13 @@ int main(int argc, char** argv) {
   const server::ServerStats& st = srv.stats();
   std::printf("rounds           : %llu\n",
               static_cast<unsigned long long>(st.rounds));
-  if (st.round_latency_ms.empty())
+  if (st.round_latency_ms.count() == 0)
     std::printf("round latency    : (no rounds completed)\n");
   else
-    std::printf("round latency    : p50 %.2f ms, p99 %.2f ms\n",
-                Percentile(st.round_latency_ms, 0.50),
-                Percentile(st.round_latency_ms, 0.99));
+    std::printf("round latency    : p50 %.2f ms, p99 %.2f ms, max %.2f ms\n",
+                Percentile(st.round_latency_ms.items(), 50.0),
+                Percentile(st.round_latency_ms.items(), 99.0),
+                st.round_latency_summary.max());
   std::printf("sessions         : %zu accepted, %zu peak, %zu evicted, "
               "%zu refused\n",
               st.sessions_accepted, st.peak_sessions, st.sessions_evicted,

@@ -4,8 +4,8 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <stdexcept>
+#include <system_error>
 #include <utility>
 
 namespace themis {
@@ -23,6 +23,13 @@ namespace {
 
 class JsonParser {
  public:
+  /// Containers deeper than this fail the parse. The daemon feeds untrusted
+  /// network frames here: without a bound, a line of nested '[' well under
+  /// the frame cap drives one recursion level per byte and overflows the
+  /// stack. 64 is far beyond any scenario file or wire frame (which nest
+  /// 3-4 deep) while keeping worst-case stack use trivial.
+  static constexpr int kMaxDepth = 64;
+
   explicit JsonParser(const std::string& text) : text_(text) {}
 
   JsonValue ParseDocument() {
@@ -99,12 +106,19 @@ class JsonParser {
     }
   }
 
+  void EnterContainer() {
+    if (++depth_ > kMaxDepth)
+      Fail("nesting deeper than " + std::to_string(kMaxDepth) + " levels");
+  }
+
   JsonValue ParseObject() {
+    EnterContainer();
     Expect('{');
     JsonValue v;
     v.type_ = JsonValue::Type::kObject;
     if (Peek() == '}') {
       ++pos_;
+      --depth_;
       return v;
     }
     while (true) {
@@ -119,6 +133,7 @@ class JsonParser {
       }
       if (c == '}') {
         ++pos_;
+        --depth_;
         return v;
       }
       Fail("expected ',' or '}' in object");
@@ -126,11 +141,13 @@ class JsonParser {
   }
 
   JsonValue ParseArray() {
+    EnterContainer();
     Expect('[');
     JsonValue v;
     v.type_ = JsonValue::Type::kArray;
     if (Peek() == ']') {
       ++pos_;
+      --depth_;
       return v;
     }
     while (true) {
@@ -142,6 +159,7 @@ class JsonParser {
       }
       if (c == ']') {
         ++pos_;
+        --depth_;
         return v;
       }
       Fail("expected ',' or ']' in array");
@@ -228,16 +246,23 @@ class JsonParser {
       if (!digit()) Fail("digits required in exponent");
       while (digit()) ++pos_;
     }
-    const std::string token = text_.substr(start, pos_ - start);
+    // std::from_chars, not strtod: strtod honors the process locale, so a
+    // ',' decimal separator would silently parse "1.5" as 1.0 and break the
+    // parse(write(v)) == v property the wire digests rely on. from_chars is
+    // locale-independent and the exact inverse of the to_chars writer.
     JsonValue v;
     v.type_ = JsonValue::Type::kNumber;
-    v.number_ = std::strtod(token.c_str(), nullptr);
+    const auto res =
+        std::from_chars(text_.data() + start, text_.data() + pos_, v.number_);
+    if (res.ec != std::errc() || res.ptr != text_.data() + pos_)
+      Fail("number outside double range");
     return v;
   }
 
   const std::string& text_;
   std::size_t pos_ = 0;
   std::size_t line_ = 1;
+  int depth_ = 0;  // open containers; bounded by kMaxDepth
 };
 
 JsonValue JsonValue::Parse(const std::string& text) {

@@ -20,7 +20,9 @@ class JsonValue {
   enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
 
   /// Parse one JSON document. Throws std::runtime_error with a line number
-  /// on malformed input or trailing garbage.
+  /// on malformed input, trailing garbage, or containers nested more than
+  /// 64 deep (the recursion bound that keeps untrusted wire frames from
+  /// overflowing the stack).
   static JsonValue Parse(const std::string& text);
 
   Type type() const { return type_; }

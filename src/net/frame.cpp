@@ -43,10 +43,6 @@ bool LineReader::NextLine(std::string& out) {
 
 bool WriteBuffer::QueueFrame(std::string_view frame) {
   if (pending() + frame.size() + 1 > max_bytes_) return false;
-  if (sent_ > 0 && sent_ == buf_.size()) {
-    buf_.clear();
-    sent_ = 0;
-  }
   buf_.append(frame.data(), frame.size());
   buf_ += '\n';
   return true;
@@ -59,8 +55,15 @@ bool WriteBuffer::Flush(int fd) {
     if (w == 0) break;  // socket full; poll for POLLOUT
     sent_ += static_cast<std::size_t>(w);
   }
-  if (sent_ == buf_.size() && !buf_.empty()) {
+  if (sent_ == buf_.size()) {
     buf_.clear();
+    sent_ = 0;
+  } else if (sent_ >= buf_.size() / 2) {
+    // Compact once the sent prefix dominates (mirrors LineReader::NextLine).
+    // A slow-but-reading peer keeps the buffer partially drained forever;
+    // without this, the already-sent prefix accretes every byte ever queued
+    // and memory tracks lifetime traffic instead of pending().
+    buf_.erase(0, sent_);
     sent_ = 0;
   }
   return true;

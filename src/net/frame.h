@@ -59,6 +59,10 @@ class WriteBuffer {
 
   bool empty() const { return sent_ == buf_.size(); }
   std::size_t pending() const { return buf_.size() - sent_; }
+  /// Bytes physically held (pending plus the not-yet-compacted sent
+  /// prefix). Stays within ~2x pending(); exposed so tests can assert the
+  /// compaction bound under sustained partial flushes.
+  std::size_t buffer_size() const { return buf_.size(); }
 
  private:
   std::string buf_;

@@ -35,6 +35,11 @@ struct ArbiterServer::Session {
   std::int64_t agent_id;
   std::string name;
   State state = State::kAwaitingHello;
+  /// Accept time (steady-clock ms); starts the handshake deadline.
+  double accepted_ms = 0.0;
+  /// HELLO arrived mid-round and waits at the boundary: the session is
+  /// still kAwaitingHello but must not be charged a handshake timeout.
+  bool hello_deferred = false;
   net::LineReader reader;
   net::WriteBuffer out;
   /// Unfinished apps this AGENT owns (ascending registration order).
@@ -130,6 +135,25 @@ void ArbiterServer::DropSession(Session& s) {
   s.fd = net::kBadFd;
 }
 
+void ArbiterServer::EvictStaleHandshakes() {
+  if (config_.hello_timeout_ms <= 0 || stopping_) return;
+  const double now = NowMs();
+  for (auto& sp : sessions_) {
+    Session& s = *sp;
+    if (s.state != Session::State::kAwaitingHello || s.hello_deferred)
+      continue;
+    if (now - s.accepted_ms < static_cast<double>(config_.hello_timeout_ms))
+      continue;
+    ++stats_.sessions_evicted;
+    // Not SendError: a silent peer is not a protocol violation, just gone.
+    SendFrame(s, net::EncodeError(
+                     "hello-timeout",
+                     "no HELLO within " +
+                         std::to_string(config_.hello_timeout_ms) + " ms"));
+    CloseSession(s, "handshake timeout");
+  }
+}
+
 void ArbiterServer::ReapSessions() {
   for (auto& s : sessions_)
     if (s->state == Session::State::kDraining && s->out.empty())
@@ -157,6 +181,7 @@ void ArbiterServer::AcceptPending() {
       continue;
     }
     ++stats_.sessions_accepted;
+    s->accepted_ms = NowMs();
     sessions_.push_back(std::move(s));
     stats_.peak_sessions = std::max(stats_.peak_sessions, sessions_.size());
   }
@@ -176,6 +201,7 @@ void ArbiterServer::HandleHello(Session& s, net::WireMessage msg) {
   if (collecting_) {
     // Registration mutates the auction population, so it waits for the
     // round boundary. The session hears its WELCOME then.
+    s.hello_deferred = true;
     deferred_hellos_.emplace_back(s.agent_id, std::move(msg));
     return;
   }
@@ -300,6 +326,7 @@ void ArbiterServer::ApplyDeferred() {
     for (auto& s : sessions_)
       if (s->agent_id == agent_id &&
           s->state == Session::State::kAwaitingHello) {
+        s->hello_deferred = false;
         HandleHello(*s, std::move(msg));
         break;
       }
@@ -416,7 +443,9 @@ void ArbiterServer::CompleteRound() {
   }
 
   ++stats_.rounds;
-  stats_.round_latency_ms.push_back(NowMs() - round_started_ms_);
+  const double latency_ms = NowMs() - round_started_ms_;
+  stats_.round_latency_ms.Add(latency_ms);
+  stats_.round_latency_summary.Add(latency_ms);
 }
 
 void ArbiterServer::StepRounds() {
@@ -470,6 +499,7 @@ int ArbiterServer::Run() {
   std::vector<Session*> pfd_sessions;
 
   for (;;) {
+    EvictStaleHandshakes();
     ReapSessions();
     StepRounds();
     if (stopping_) {

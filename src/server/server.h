@@ -19,6 +19,9 @@
 //
 // Misbehaving input never kills the daemon: malformed frames draw a pointed
 // ERROR frame and eviction, oversized lines poison the reader and evict,
+// JSON nesting is depth-bounded so a frame of brackets cannot overflow the
+// parse stack, a connection that never completes HELLO is evicted at the
+// handshake deadline (hello_timeout_ms) instead of pinning a session slot,
 // writes use MSG_NOSIGNAL, and a peer that stops reading trips the bounded
 // write buffer and is evicted. RequestStop() is async-signal-safe (self-pipe
 // wakeup): the daemon finishes the in-flight round, CLOSEs every session,
@@ -30,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.h"
 #include "net/frame.h"
 #include "net/socket.h"
 #include "net/wire.h"
@@ -52,6 +56,11 @@ struct ServerConfig {
   std::uint64_t max_rounds = 0;
   /// Wall-clock bid deadline per round, in milliseconds.
   int bid_timeout_ms = 2000;
+  /// Handshake deadline: a connection that has not completed HELLO within
+  /// this window is evicted ("hello-timeout" ERROR + CLOSE), so idle
+  /// pre-registration sockets cannot pin session slots forever (bid-deadline
+  /// eviction only covers registered sessions). 0 disables.
+  int hello_timeout_ms = 5000;
   /// Consecutive missed bid deadlines before a session is evicted.
   int max_missed_deadlines = 3;
   /// Exit Run() once every registered app finished and no session remains.
@@ -61,10 +70,19 @@ struct ServerConfig {
   ArbiterConfig arbiter;
 };
 
+/// Bounded sample size for per-round latency percentiles. Exact while a run
+/// has at most this many rounds (every bench/test does); beyond it the
+/// reservoir keeps a uniform sample — a forever-running daemon
+/// (max_rounds = 0) must not grow a vector per round.
+constexpr std::size_t kRoundLatencySampleCap = 8192;
+
 struct ServerStats {
   std::uint64_t rounds = 0;
-  /// Wall time per round: BeginRound to GRANT fan-out queued.
-  std::vector<double> round_latency_ms;
+  /// Wall time per round: BeginRound to GRANT fan-out queued. Percentiles
+  /// come from the bounded reservoir (items()); exact min/max/mean from the
+  /// streaming summary.
+  Reservoir<double> round_latency_ms{kRoundLatencySampleCap};
+  Summary round_latency_summary;
   std::size_t sessions_accepted = 0;
   std::size_t sessions_refused = 0;
   std::size_t sessions_evicted = 0;
@@ -120,6 +138,8 @@ class ArbiterServer {
   /// the auction at the next round boundary.
   void DropSession(Session& s);
   void ReapSessions();
+  /// Evict kAwaitingHello sessions whose handshake deadline passed.
+  void EvictStaleHandshakes();
 
   void StepRounds();
   void StartRound();

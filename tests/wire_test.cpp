@@ -14,11 +14,14 @@
 //     cancelling.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <clocale>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <limits>
 #include <random>
+#include <stdexcept>
 #include <string>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -26,6 +29,7 @@
 
 #include "common/json.h"
 #include "net/frame.h"
+#include "net/socket.h"
 #include "net/wire.h"
 #include "workload/trace_gen.h"
 
@@ -129,6 +133,48 @@ TEST(JsonWriter, DocumentsRoundTripStructurally) {
   EXPECT_EQ(JsonWriter::Write(back), doc);
 }
 
+TEST(JsonParser, DeepNestingIsRejectedNotStackOverflow) {
+  // A frame of brackets well under the 1 MiB line cap would recurse once
+  // per byte without the depth bound — a remote stack-overflow crash.
+  EXPECT_THROW(JsonValue::Parse(std::string(200000, '[')),
+               std::runtime_error);
+  const int kTooDeep = 80;
+  EXPECT_THROW(JsonValue::Parse(std::string(kTooDeep, '[') +
+                                std::string(kTooDeep, ']')),
+               std::runtime_error);
+  std::string objects;
+  for (int i = 0; i < kTooDeep; ++i) objects += "{\"k\":";
+  objects += "null";
+  objects.append(static_cast<std::size_t>(kTooDeep), '}');
+  EXPECT_THROW(JsonValue::Parse(objects), std::runtime_error);
+
+  // Sane nesting is untouched (wire frames nest 3-4 deep; the bound is 64).
+  const int kFine = 32;
+  const JsonValue v = JsonValue::Parse(std::string(kFine, '[') + "7" +
+                                       std::string(kFine, ']'));
+  EXPECT_TRUE(v.is_array());
+
+  // Through the wire codec the same input must surface as a WireError (the
+  // daemon answers with a pointed ERROR frame and evicts — never crashes).
+  EXPECT_THROW(net::ParseWireMessage("{\"type\":\"bid\",\"round\":1,"
+                                     "\"demands\":" +
+                                     std::string(5000, '[')),
+               net::WireError);
+}
+
+TEST(JsonParser, NumberParsingIsLocaleIndependent) {
+  // strtod would honor a ',' decimal separator and read "1.5" as 1.0;
+  // from_chars must not. Skip when the locale is not installed.
+  const std::string saved = std::setlocale(LC_NUMERIC, nullptr);
+  if (std::setlocale(LC_NUMERIC, "de_DE.UTF-8") == nullptr)
+    GTEST_SKIP() << "de_DE.UTF-8 locale not installed";
+  const double got = JsonValue::Parse("1.5").AsNumber();
+  const std::string formatted = JsonWriter::FormatNumber(0.1);
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  EXPECT_EQ(got, 1.5);
+  EXPECT_EQ(formatted, "0.1");
+}
+
 TEST(LineReader, SplitsLinesAcrossFeeds) {
   net::LineReader reader;
   std::string line;
@@ -195,6 +241,57 @@ TEST(WriteBuffer, FlushDeliversFramesOverASocketPair) {
   char got[64] = {};
   const ssize_t n = read(fds[1], got, sizeof got);
   EXPECT_EQ(std::string(got, static_cast<std::size_t>(n)), "hello\nworld\n");
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(WriteBuffer, CompactsSentPrefixUnderSustainedPartialFlushes) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(net::SetNonBlocking(fds[0]));
+  ASSERT_TRUE(net::SetNonBlocking(fds[1]));
+  // Tiny kernel buffer so every Flush is partial once the pipe fills: the
+  // slow-but-reading peer keeps pending() > 0 forever, and without
+  // compaction the sent prefix would accrete every byte ever queued.
+  const int kSndBuf = 4096;
+  ASSERT_EQ(setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &kSndBuf,
+                       sizeof kSndBuf),
+            0);
+
+  net::WriteBuffer buf(1u << 20);
+  std::string expected;
+  std::string received;
+  std::size_t peak_held = 0;
+  char tmp[4096];
+  const int kIterations = 500;
+  const std::size_t kFrameLen = 1000;
+  for (int i = 0; i < kIterations; ++i) {
+    const std::string frame(kFrameLen, static_cast<char>('a' + i % 26));
+    ASSERT_TRUE(buf.QueueFrame(frame));
+    expected += frame;
+    expected += '\n';
+    ASSERT_TRUE(buf.Flush(fds[0]));
+    // The peer drains at most one read per queued frame, so the socket
+    // stays full and flushes stay partial while data still moves.
+    const long r = read(fds[1], tmp, sizeof tmp);
+    if (r > 0) received.append(tmp, static_cast<std::size_t>(r));
+    peak_held = std::max(peak_held, buf.buffer_size());
+  }
+  // ~500 KB moved through the buffer; memory must track pending(), not
+  // lifetime traffic. 2x pending cap + one frame of slack, far below the
+  // unbounded-growth failure mode.
+  EXPECT_LT(peak_held, 64u * 1024);
+
+  // Compaction must not corrupt the stream: drain fully and compare bytes.
+  while (!buf.empty()) {
+    ASSERT_TRUE(buf.Flush(fds[0]));
+    const long r = read(fds[1], tmp, sizeof tmp);
+    if (r > 0) received.append(tmp, static_cast<std::size_t>(r));
+  }
+  for (long r = read(fds[1], tmp, sizeof tmp); r > 0;
+       r = read(fds[1], tmp, sizeof tmp))
+    received.append(tmp, static_cast<std::size_t>(r));
+  EXPECT_EQ(received, expected);
   close(fds[0]);
   close(fds[1]);
 }
