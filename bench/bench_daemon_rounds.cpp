@@ -1,7 +1,7 @@
 // bench_daemon_rounds — throughput and round latency of themis_arbiterd
 // under large concurrent AGENT fleets, all over real loopback sockets.
 //
-//   bench_daemon_rounds [--max-agents N] [--rounds N]
+//   bench_daemon_rounds [--max-agents N] [--rounds N] [--round-threads N]
 //
 // For each population (256 / 1024 / 4096 AGENTs, capped by --max-agents)
 // the bench starts an ArbiterServer on its own thread, registers one app
@@ -11,6 +11,14 @@
 // stats. A final slow-AGENT case mutes every 4th AGENT under a 200 ms bid
 // deadline to show the timeout bounding round latency (misses, then
 // eviction). Emits BENCH_daemon_rounds.json.
+//
+// --round-threads N > 1 sets ThemisConfig::auction_threads on the daemon's
+// arbiter (the FinishRound bid-prep fan-out) and reruns the largest
+// population once more with a serial arbiter, reporting the
+// served-agents/sec delta. The delta is informational — daemon rounds also
+// pay socket and session costs the thread budget does not touch — but the
+// two runs' grant digests confirm the parallel arbiter serves the same
+// grants.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -22,6 +30,7 @@
 
 #include "bench_common.h"
 #include "net/socket.h"
+#include "net/wire.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "workload/trace_gen.h"
@@ -50,7 +59,7 @@ struct PopulationResult {
 /// One app per AGENT, `rounds` auction rounds, all over 127.0.0.1.
 PopulationResult RunPopulation(int agents, std::uint64_t rounds,
                                int bid_timeout_ms, int mute_every,
-                               std::uint64_t seed) {
+                               std::uint64_t seed, int round_threads = 1) {
   PopulationResult out;
 
   server::ServerConfig config;
@@ -59,6 +68,7 @@ PopulationResult RunPopulation(int agents, std::uint64_t rounds,
   config.max_rounds = rounds;
   config.bid_timeout_ms = bid_timeout_ms;
   config.arbiter.seed = seed;
+  config.arbiter.themis.auction_threads = round_threads;
 
   server::ArbiterServer srv(config);
   std::string err;
@@ -97,6 +107,7 @@ PopulationResult RunPopulation(int agents, std::uint64_t rounds,
 int main(int argc, char** argv) {
   int max_agents = 4096;
   std::uint64_t rounds_override = 0;
+  int round_threads = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -109,9 +120,13 @@ int main(int argc, char** argv) {
     if (arg == "--max-agents") max_agents = std::atoi(next());
     else if (arg == "--rounds")
       rounds_override = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--round-threads")
+      round_threads = std::atoi(next());
     else {
       std::fprintf(stderr,
-                   "usage: %s [--max-agents N] [--rounds N]\n", argv[0]);
+                   "usage: %s [--max-agents N] [--rounds N] "
+                   "[--round-threads N]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -124,6 +139,7 @@ int main(int argc, char** argv) {
   report.Config("cluster", "sim256");
   report.Config("policy", "Themis");
   report.Config("apps_per_agent", 1.0);
+  report.Config("round_threads", static_cast<double>(round_threads));
 
   struct Population {
     int agents;
@@ -134,13 +150,17 @@ int main(int argc, char** argv) {
   std::printf("%-8s %8s %12s %10s %10s %10s %14s\n", "agents", "rounds",
               "elapsed_s", "p50_ms", "p99_ms", "max_ms", "agents/sec");
   bool all_ok = true;
+  int largest_agents = 0;
+  std::uint64_t largest_rounds = 0;
+  double largest_agents_per_sec = 0.0;
+  net::GrantDigest largest_digest;
   for (const Population& pop : kPopulations) {
     if (pop.agents > max_agents) continue;
     const std::uint64_t rounds =
         rounds_override != 0 ? rounds_override : pop.rounds;
     const PopulationResult r =
         RunPopulation(pop.agents, rounds, /*bid_timeout_ms=*/5000,
-                      /*mute_every=*/0, /*seed=*/42);
+                      /*mute_every=*/0, /*seed=*/42, round_threads);
     if (!r.ok) {
       std::fprintf(stderr, "bench: %d agents: %s\n", pop.agents,
                    r.error.c_str());
@@ -165,6 +185,44 @@ int main(int argc, char** argv) {
     report.Metric("rounds." + tag, static_cast<double>(r.stats.rounds));
     report.Metric("peak_sessions." + tag,
                   static_cast<double>(r.stats.peak_sessions));
+    largest_agents = pop.agents;
+    largest_rounds = rounds;
+    largest_agents_per_sec = agents_per_sec;
+    largest_digest = r.fleet.digest;
+  }
+
+  // Serial-arbiter baseline for the served-agents/sec delta: rerun the
+  // largest population with auction_threads = 1 and the same seed. The
+  // fleet digests must MATCH — the parallel round contract is bit-identical
+  // grants — while the throughput delta shows how much of the daemon's
+  // round time the bid-prep fan-out actually covers.
+  if (round_threads > 1 && largest_agents > 0) {
+    const PopulationResult serial =
+        RunPopulation(largest_agents, largest_rounds, /*bid_timeout_ms=*/5000,
+                      /*mute_every=*/0, /*seed=*/42, /*round_threads=*/1);
+    if (!serial.ok) {
+      std::fprintf(stderr, "bench: serial baseline (%d agents): %s\n",
+                   largest_agents, serial.error.c_str());
+      all_ok = false;
+    } else {
+      const double serial_rate =
+          serial.elapsed_s > 0.0
+              ? static_cast<double>(serial.stats.agent_round_serves) /
+                    serial.elapsed_s
+              : 0.0;
+      const bool identical = serial.fleet.digest == largest_digest;
+      const double delta =
+          serial_rate > 0.0 ? largest_agents_per_sec / serial_rate : 0.0;
+      std::printf("\nround-threads delta (%d agents): %.0f agents/sec serial "
+                  "-> %.0f at %d threads (%.2fx), digests %s\n",
+                  largest_agents, serial_rate, largest_agents_per_sec,
+                  round_threads, delta, identical ? "MATCH" : "DIVERGED");
+      const std::string tag = std::to_string(largest_agents);
+      report.Metric("agents_per_sec_serial." + tag, serial_rate);
+      report.Metric("round_threads_delta." + tag, delta);
+      report.Metric("round_threads_identical." + tag, identical ? 1.0 : 0.0);
+      all_ok = all_ok && identical;
+    }
   }
 
   // Slow-AGENT case: every 4th AGENT never bids. The 200 ms bid deadline

@@ -307,17 +307,160 @@ int RunFilterProbeSweep() {
   return ok ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// BM_ParallelRound: full-round throughput on a 4096-GPU cluster vs
+// round_threads — the ThemisConfig::auction_threads fan-out of bid
+// preparation and the rho probe over the shared pool (common/parallel.h).
+// The world is a steady-state round: one single-job app per machine, each
+// already holding one gang there, and the other half of the cluster
+// (2048 GPUs) is up for auction. The holdings anchor each AGENT's bid on
+// its own machine, so the 512 bid tables are disjoint — and because every
+// app has exactly one job, each extra gang strictly improves the app's rho
+// (SharedRunningTime is a min over jobs, so multi-job apps value gangs
+// beyond their best job at zero). The PF optimum therefore grants every
+// app its full row, the pool empties, and the leftover stage
+// early-returns — round cost is then dominated by the embarrassingly
+// parallel bid-prep phase the thread budget actually touches. Hidden
+// payments are ablated (the PaConfig knob) and the branch-and-bound node
+// budget kept small so the serial solver stage stays a sliver. BidTable
+// allocations per round at this scale: before the pointer-borrowing
+// PartialAllocation overloads, the round deep-copied all 512 tables into
+// the solver (and the hidden-payments pass another 511 per bidder, ~262k
+// copies when enabled); now the solver borrows them in place — 0. Grant
+// streams are fingerprint-checked across thread counts for the
+// bit-identicality the pool contract promises; the process exits non-zero
+// only on an identity failure (a correctness bug), never on a throughput
+// number — wall-clock assertions live in CI, where the core count is known.
+// ---------------------------------------------------------------------------
+
+struct ParallelRoundRun {
+  double rounds_per_sec = 0.0;
+  std::uint64_t fingerprint = 0;
+  int granted_gpus = 0;
+};
+
+ParallelRoundRun MeasureParallelRound(int machines, int apps_count,
+                                      int round_threads, int rounds) {
+  ThemisConfig cfg;
+  cfg.fairness_knob = 0.0;  // every hungry app bids
+  cfg.auction_threads = round_threads;
+  cfg.pa.hidden_payments = false;
+  cfg.pa.max_nodes = 4000;
+
+  const int jobs_per_app = machines / apps_count;  // one job per owned machine
+
+  ParallelRoundRun run;
+  WorkEstimator est({});
+  double total_s = 0.0;
+  for (int r = 0; r < rounds; ++r) {
+    // Fresh world per round (grants mutate app and cluster state), so every
+    // round prices the identical offer and the per-round grant streams can
+    // be folded into one cross-thread-count fingerprint. Setup is untimed.
+    Cluster cluster(ClusterSpec::Uniform(/*racks=*/8, /*machines=*/machines / 8,
+                                         /*gpus=*/8, /*slot=*/4));
+    Rng rng(99);
+    std::vector<std::unique_ptr<AppState>> apps;
+    AppList list;
+    for (int i = 0; i < apps_count; ++i) {
+      apps.push_back(BenchApp(static_cast<AppId>(i), jobs_per_app,
+                              /*tasks_per_job=*/2));
+      list.push_back(apps.back().get());
+    }
+    // Steady state: job j of app a holds one 4-GPU gang on machine
+    // a * jobs_per_app + j, leaving that machine's other 4 GPUs free. Each
+    // job can absorb exactly one more gang (cap 8), so total unmet demand
+    // equals the offered half of the cluster and the anchored bids
+    // partition it machine by machine.
+    for (int a = 0; a < apps_count; ++a)
+      for (int j = 0; j < jobs_per_app; ++j) {
+        const int m = a * jobs_per_app + j;
+        std::vector<GpuId> gang;
+        for (int k = 0; k < 4; ++k) gang.push_back(static_cast<GpuId>(8 * m + k));
+        for (GpuId g : gang)
+          cluster.Allocate(g, static_cast<AppId>(a), static_cast<JobId>(j),
+                           /*expiry=*/1.0e9);
+        apps[a]->jobs[j].gpus = gang;
+      }
+    SchedulerContext ctx(0.0, &cluster, &est, 20.0, &list, &rng);
+    ThemisPolicy policy(cfg);
+
+    const auto start = std::chrono::steady_clock::now();
+    const GrantSet grants = policy.Schedule(cluster.FreeGpus(), ctx);
+    total_s +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    for (const Grant& grant : grants.grants)
+      for (GpuId g : grant.gpus) {
+        run.fingerprint = run.fingerprint * 1000003ull +
+                          static_cast<std::uint64_t>(grant.app) * 131ull +
+                          static_cast<std::uint64_t>(grant.job) * 31ull +
+                          static_cast<std::uint64_t>(g);
+        ++run.granted_gpus;
+      }
+  }
+  run.rounds_per_sec = static_cast<double>(rounds) / std::max(1e-9, total_s);
+  return run;
+}
+
+int RunParallelRoundSweep() {
+  int machines = 512;  // x8 GPUs = the 4096-GPU cluster
+  if (const char* env = std::getenv("THEMIS_BENCH_MACHINES"); env && *env)
+    machines = std::max(8, std::atoi(env));
+  // One single-job app anchored per machine: 512 apps x 1 job x 2 tasks x
+  // 4 GPUs of unmet demand = the 2048-GPU offer, valued gang by gang.
+  const int apps = machines;
+  int rounds = 6;
+  if (const char* env = std::getenv("THEMIS_BENCH_ROUNDS"); env && *env)
+    rounds = std::max(1, std::atoi(env));
+
+  bench::BenchReport report("parallel_rounds");
+  report.Config("cluster_gpus", static_cast<double>(machines) * 8.0);
+  report.Config("bidding_apps", static_cast<double>(apps));
+  report.Config("rounds", static_cast<double>(rounds));
+
+  std::printf("\nBM_ParallelRound: %d-GPU rounds/sec vs round_threads\n",
+              machines * 8);
+  std::printf("%8s %12s %9s %10s\n", "threads", "rounds/s", "speedup",
+              "identical");
+  bool ok = true;
+  ParallelRoundRun baseline;
+  for (const int threads : {1, 2, 4, 8}) {
+    const ParallelRoundRun run =
+        MeasureParallelRound(machines, apps, threads, rounds);
+    if (threads == 1) baseline = run;
+    const bool identical = run.fingerprint == baseline.fingerprint &&
+                           run.granted_gpus == baseline.granted_gpus &&
+                           run.granted_gpus > 0;
+    const double speedup =
+        run.rounds_per_sec / std::max(1e-9, baseline.rounds_per_sec);
+    std::printf("%8d %12.2f %8.2fx %10s\n", threads, run.rounds_per_sec,
+                speedup, identical ? "yes" : "NO");
+    const std::string tag = "@" + std::to_string(threads) + "threads";
+    report.Metric("parallel_rounds_per_sec" + tag, run.rounds_per_sec);
+    report.Metric("parallel_round_speedup" + tag, speedup);
+    report.Metric("parallel_round_identical" + tag, identical ? 1.0 : 0.0);
+    ok = ok && identical;
+  }
+  if (!report.Write()) ok = false;
+  if (!ok) std::fprintf(stderr, "bench: parallel-round check FAILED\n");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace themis
 
 // Custom main instead of BENCHMARK_MAIN(): after the google-benchmark suite
-// (which --benchmark_filter can narrow or skip), the filter-probe sweep runs
-// unconditionally and writes BENCH_overheads.json — the machine-readable
-// report CI's bench-smoke gate asserts on.
+// (which --benchmark_filter can narrow or skip), the filter-probe and
+// parallel-round sweeps run unconditionally and write BENCH_overheads.json /
+// BENCH_parallel_rounds.json — the machine-readable reports CI's bench-smoke
+// gate asserts on.
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return themis::RunFilterProbeSweep();
+  const int filter_rc = themis::RunFilterProbeSweep();
+  const int parallel_rc = themis::RunParallelRoundSweep();
+  return filter_rc != 0 ? filter_rc : parallel_rc;
 }

@@ -7,12 +7,33 @@
 namespace themis {
 namespace {
 
+/// Borrow the caller's tables as pointers so the solver never copies a
+/// BidTable — the hidden-payments loop below re-solves the market once per
+/// bidder, and copying the tables there made that loop O(n^2) in table
+/// deep-copies.
+std::vector<const BidTable*> AsPointers(const std::vector<BidTable>& bids) {
+  std::vector<const BidTable*> ptrs;
+  ptrs.reserve(bids.size());
+  for (const BidTable& b : bids) ptrs.push_back(&b);
+  return ptrs;
+}
+
+void Validate(const std::vector<const BidTable*>& bids,
+              const std::vector<int>& offered, const char* who) {
+  for (const BidTable* b : bids) {
+    if (b == nullptr)
+      throw std::invalid_argument(std::string(who) + ": null bid table");
+    const std::string err = ValidateBid(*b, offered);
+    if (!err.empty()) throw std::invalid_argument(std::string(who) + ": " + err);
+  }
+}
+
 /// Precomputed log-valuations; rows sorted by descending value per app so the
 /// branch-and-bound explores promising rows first.
 struct Problem {
-  const std::vector<BidTable>* bids = nullptr;
+  const std::vector<const BidTable*>* bids = nullptr;
   std::vector<int> offered;
-  /// log V for bids[i].rows[r].
+  /// log V for bids[i]->rows[r].
   std::vector<std::vector<double>> log_value;
   /// Row visit order per app (descending log value).
   std::vector<std::vector<int>> row_order;
@@ -20,7 +41,7 @@ struct Problem {
   std::vector<double> best_log;
 };
 
-Problem BuildProblem(const std::vector<BidTable>& bids,
+Problem BuildProblem(const std::vector<const BidTable*>& bids,
                      const std::vector<int>& offered) {
   Problem p;
   p.bids = &bids;
@@ -29,7 +50,7 @@ Problem BuildProblem(const std::vector<BidTable>& bids,
   p.row_order.resize(bids.size());
   p.best_log.resize(bids.size());
   for (std::size_t i = 0; i < bids.size(); ++i) {
-    const auto& rows = bids[i].rows;
+    const auto& rows = bids[i]->rows;
     p.log_value[i].resize(rows.size());
     p.row_order[i].resize(rows.size());
     double best = -1e18;
@@ -78,9 +99,9 @@ std::vector<int> GreedySolve(const Problem& p) {
   std::vector<int> remaining = p.offered;
   for (std::size_t i : order) {
     for (int r : p.row_order[i]) {
-      if (Fits(bids[i].rows[r], remaining)) {
+      if (Fits(bids[i]->rows[r], remaining)) {
         rows[i] = r;
-        Consume(bids[i].rows[r], remaining, +1);
+        Consume(bids[i]->rows[r], remaining, +1);
         break;
       }
     }
@@ -95,18 +116,18 @@ void LocalSearch(const Problem& p, std::vector<int>& rows, int passes) {
   const auto& bids = *p.bids;
   std::vector<int> remaining = p.offered;
   for (std::size_t i = 0; i < rows.size(); ++i)
-    Consume(bids[i].rows[rows[i]], remaining, +1);
+    Consume(bids[i]->rows[rows[i]], remaining, +1);
 
   for (int pass = 0; pass < passes; ++pass) {
     bool improved = false;
     for (std::size_t i = 0; i < rows.size(); ++i) {
       // Free app i's current row, then look for the best feasible row.
-      Consume(bids[i].rows[rows[i]], remaining, -1);
+      Consume(bids[i]->rows[rows[i]], remaining, -1);
       int best_row = rows[i];
       double best_log = p.log_value[i][rows[i]];
       for (int r : p.row_order[i]) {
         if (p.log_value[i][r] <= best_log) break;  // sorted: no better rows left
-        if (Fits(bids[i].rows[r], remaining)) {
+        if (Fits(bids[i]->rows[r], remaining)) {
           best_row = r;
           best_log = p.log_value[i][r];
           break;
@@ -116,7 +137,7 @@ void LocalSearch(const Problem& p, std::vector<int>& rows, int passes) {
         rows[i] = best_row;
         improved = true;
       }
-      Consume(bids[i].rows[rows[i]], remaining, +1);
+      Consume(bids[i]->rows[rows[i]], remaining, +1);
     }
     if (!improved) break;
   }
@@ -149,12 +170,12 @@ void Bnb(const Problem& p, std::size_t i, std::vector<int>& rows,
   if (log_so_far + suffix_best[i] <= state.best_log) return;
 
   for (int r : p.row_order[i]) {
-    if (!Fits(bids[i].rows[r], remaining)) continue;
+    if (!Fits(bids[i]->rows[r], remaining)) continue;
     rows[i] = r;
-    Consume(bids[i].rows[r], remaining, +1);
+    Consume(bids[i]->rows[r], remaining, +1);
     Bnb(p, i + 1, rows, remaining, log_so_far + p.log_value[i][r], suffix_best,
         max_nodes, state);
-    Consume(bids[i].rows[r], remaining, -1);
+    Consume(bids[i]->rows[r], remaining, -1);
   }
   rows[i] = 0;
 }
@@ -187,25 +208,24 @@ PfSolution Solve(const Problem& p, const PaConfig& config) {
 
 }  // namespace
 
-PfSolution SolveProportionalFair(const std::vector<BidTable>& bids,
+PfSolution SolveProportionalFair(const std::vector<const BidTable*>& bids,
                                  const std::vector<int>& offered,
                                  const PaConfig& config) {
-  for (const BidTable& b : bids) {
-    const std::string err = ValidateBid(b, offered);
-    if (!err.empty())
-      throw std::invalid_argument("SolveProportionalFair: " + err);
-  }
+  Validate(bids, offered, "SolveProportionalFair");
   const Problem p = BuildProblem(bids, offered);
   return Solve(p, config);
 }
 
-PaResult PartialAllocation(const std::vector<BidTable>& bids,
+PfSolution SolveProportionalFair(const std::vector<BidTable>& bids,
+                                 const std::vector<int>& offered,
+                                 const PaConfig& config) {
+  return SolveProportionalFair(AsPointers(bids), offered, config);
+}
+
+PaResult PartialAllocation(const std::vector<const BidTable*>& bids,
                            const std::vector<int>& offered,
                            const PaConfig& config) {
-  for (const BidTable& b : bids) {
-    const std::string err = ValidateBid(b, offered);
-    if (!err.empty()) throw std::invalid_argument("PartialAllocation: " + err);
-  }
+  Validate(bids, offered, "PartialAllocation");
 
   PaResult result;
   result.leftover = offered;
@@ -218,13 +238,15 @@ PaResult PartialAllocation(const std::vector<BidTable>& bids,
 
   // Hidden payments: compare the others' welfare with and without each app.
   result.winners.resize(bids.size());
+  std::vector<const BidTable*> others;
+  others.reserve(bids.size() - 1);
   for (std::size_t i = 0; i < bids.size(); ++i) {
     PaWinner& w = result.winners[i];
-    w.app = bids[i].app;
+    w.app = bids[i]->app;
     w.row = pf.rows[i];
     w.granted.assign(offered.size(), 0);
 
-    const BidRow& row = bids[i].rows[w.row];
+    const BidRow& row = bids[i]->rows[w.row];
     if (row.IsZero()) {
       w.c = 1.0;  // nothing granted, nothing withheld
       continue;
@@ -237,9 +259,8 @@ PaResult PartialAllocation(const std::vector<BidTable>& bids,
       continue;
     }
 
-    // Market without app i.
-    std::vector<BidTable> others;
-    others.reserve(bids.size() - 1);
+    // Market without app i — borrowed pointers, no table copies.
+    others.clear();
     for (std::size_t j = 0; j < bids.size(); ++j)
       if (j != i) others.push_back(bids[j]);
     const PfSolution without = SolveProportionalFair(others, offered, config);
@@ -259,6 +280,12 @@ PaResult PartialAllocation(const std::vector<BidTable>& bids,
     }
   }
   return result;
+}
+
+PaResult PartialAllocation(const std::vector<BidTable>& bids,
+                           const std::vector<int>& offered,
+                           const PaConfig& config) {
+  return PartialAllocation(AsPointers(bids), offered, config);
 }
 
 }  // namespace themis

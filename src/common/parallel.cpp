@@ -1,0 +1,158 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace themis {
+
+/// One ParallelFor submission. Shared (via shared_ptr) between the caller
+/// and every queued helper entry, so a helper that wakes after the loop
+/// already finished still finds a live control block, sees no work left,
+/// and returns.
+struct ThreadPool::Job {
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  std::function<void(std::size_t)> fn;
+
+  /// Next unclaimed index. Claims are fetch_add(grain); a claim landing at
+  /// or past n means the job is exhausted. Overshoot past n is harmless.
+  std::atomic<std::size_t> next{0};
+
+  std::mutex m;
+  std::condition_variable done_cv;
+  /// Indices accounted for: every claimed chunk adds its full size once it
+  /// ran (or threw), and the first exception accounts all then-unclaimed
+  /// indices as skipped. The job is complete when done == n.
+  std::size_t done = 0;
+  std::exception_ptr error;
+};
+
+void ThreadPool::Drain(Job& job) {
+  for (;;) {
+    const std::size_t start =
+        job.next.fetch_add(job.grain, std::memory_order_relaxed);
+    if (start >= job.n) return;
+    const std::size_t end = std::min(start + job.grain, job.n);
+    std::size_t skipped = 0;
+    std::exception_ptr error;
+    try {
+      for (std::size_t i = start; i < end; ++i) job.fn(i);
+    } catch (...) {
+      error = std::current_exception();
+      // Cancel the remainder: claims after this exchange land at >= n. The
+      // failing chunk accounts the cancelled indices itself; chunks already
+      // claimed by other executors are accounted by their claimants.
+      const std::size_t old = job.next.exchange(job.n);
+      skipped = old < job.n ? job.n - old : 0;
+    }
+    std::lock_guard<std::mutex> lock(job.m);
+    if (error && !job.error) job.error = error;
+    job.done += (end - start) + skipped;
+    if (job.done >= job.n) {
+      job.done_cv.notify_all();
+      return;
+    }
+  }
+}
+
+ThreadPool::ThreadPool(int num_workers) { EnsureWorkers(num_workers); }
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Constructed empty on first use: processes that never parallelize never
+  // spawn a thread. Destroyed after main() returns, with workers parked.
+  static ThreadPool pool;
+  return pool;
+}
+
+int ThreadPool::num_workers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(workers_.size());
+}
+
+void ThreadPool::EnsureWorkers(int n) {
+  n = std::min(n, kMaxWorkers);
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (static_cast<int>(workers_.size()) < n)
+    workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Drain(*job);
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n, int max_threads,
+                             const std::function<void(std::size_t)>& fn,
+                             std::size_t grain) {
+  if (n == 0) return;
+  if (max_threads <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  EnsureWorkers(std::min(max_threads - 1, kMaxWorkers));
+
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->fn = fn;
+  // Auto grain: enough chunks that dynamic claiming balances uneven items
+  // (~4 per executor), but never so fine that claim traffic dominates.
+  const int executors = std::min<int>(max_threads, static_cast<int>(n));
+  job->grain = grain > 0
+                   ? grain
+                   : std::max<std::size_t>(
+                         1, n / (static_cast<std::size_t>(executors) * 4));
+
+  // One queue entry per helper; the caller is the remaining executor. A
+  // helper that never gets scheduled (every worker busy) costs nothing —
+  // the caller drains the chunks itself.
+  const std::size_t chunks = (n + job->grain - 1) / job->grain;
+  const int helpers = static_cast<int>(std::min<std::size_t>(
+      {static_cast<std::size_t>(executors - 1),
+       static_cast<std::size_t>(num_workers()), chunks > 0 ? chunks - 1 : 0}));
+  if (helpers > 0) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (int h = 0; h < helpers; ++h) queue_.push_back(job);
+    }
+    if (helpers == 1)
+      cv_.notify_one();
+    else
+      cv_.notify_all();
+  }
+
+  Drain(*job);
+  std::unique_lock<std::mutex> lock(job->m);
+  job->done_cv.wait(lock, [&] { return job->done >= job->n; });
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+void ParallelFor(std::size_t n, int max_threads,
+                 const std::function<void(std::size_t)>& fn,
+                 std::size_t grain) {
+  if (max_threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool::Global().ParallelFor(n, max_threads, fn, grain);
+}
+
+}  // namespace themis

@@ -1,0 +1,94 @@
+// The process-wide threading substrate: one persistent pool, spawned on
+// first use and reused forever, shared by every parallel phase in the
+// process — the ARBITER round's bid preparation and rho probes
+// (core/themis_policy.cpp), scenario sweeps (SweepRunner) and federated
+// shard simulation (ShardedArbiter) via RunParallel (sim/experiment.h).
+// Rounds are millisecond-scale, so per-call thread spawn would eat the
+// win; workers here are spawned once, parked on a condition variable
+// between submissions, and grown on demand (never shrunk).
+//
+// Determinism contract: ParallelFor(n, fn) runs fn(i) exactly once for
+// every i in [0, n), with no ordering or thread-assignment guarantee.
+// Callers that write only into per-index slots (and whose fn touches no
+// shared mutable state) therefore get results bit-identical to the serial
+// loop regardless of thread count — the property every user in this
+// codebase relies on and tests pin.
+//
+// The calling thread always participates in the work: helper tasks are
+// queued for pool workers, but if every worker is busy (or the pool is
+// empty) the caller drains all chunks itself, so a ParallelFor issued from
+// inside a pool task (e.g. an auction round inside a SweepRunner scenario)
+// degrades to serial instead of deadlocking.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace themis {
+
+class ThreadPool {
+ public:
+  /// Spawn `num_workers` parked worker threads (0 = none yet; workers are
+  /// added lazily by EnsureWorkers / ParallelFor as callers ask for them).
+  explicit ThreadPool(int num_workers = 0);
+  /// Joins every worker. Outstanding ParallelFor calls must have returned.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide shared pool. Constructed empty on first use; grows to
+  /// the largest thread count any caller requests.
+  static ThreadPool& Global();
+
+  int num_workers() const;
+
+  /// Grow the pool to at least `n` workers (never shrinks; capped at
+  /// kMaxWorkers). Safe to call concurrently.
+  void EnsureWorkers(int n);
+
+  /// Run fn(i) exactly once for every i in [0, n), on up to `max_threads`
+  /// concurrent executors: the calling thread plus at most max_threads - 1
+  /// pool workers. Work is claimed dynamically in contiguous chunks of
+  /// `grain` indices (0 = pick automatically). Blocks until every index has
+  /// run. max_threads <= 1 (or n <= 1) runs the plain serial loop inline,
+  /// in ascending order, touching no pool state.
+  ///
+  /// Exceptions: the first exception thrown by fn is rethrown on the
+  /// calling thread after in-flight chunks drain; chunks not yet claimed
+  /// when it was thrown are skipped.
+  void ParallelFor(std::size_t n, int max_threads,
+                   const std::function<void(std::size_t)>& fn,
+                   std::size_t grain = 0);
+
+  /// Hard ceiling on pool size, far above any sane request; EnsureWorkers
+  /// clamps silently.
+  static constexpr int kMaxWorkers = 256;
+
+ private:
+  struct Job;
+  void WorkerLoop();
+  /// Claim and run chunks of `job` until none remain (or an exception
+  /// marks the job failed). Used by workers and the submitting caller.
+  static void Drain(Job& job);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::thread> workers_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  bool stop_ = false;
+};
+
+/// Convenience over the global pool: serial inline loop for
+/// max_threads <= 1, ThreadPool::Global().ParallelFor otherwise.
+void ParallelFor(std::size_t n, int max_threads,
+                 const std::function<void(std::size_t)>& fn,
+                 std::size_t grain = 0);
+
+}  // namespace themis

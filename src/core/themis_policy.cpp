@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <unordered_map>
 
+#include "common/parallel.h"
 #include "core/rho_index.h"
 
 namespace themis {
@@ -14,6 +14,16 @@ ThemisPolicy::ThemisPolicy(ThemisConfig config) : config_(config) {}
 GrantSet ThemisPolicy::RunRound(const ResourceOffer& offer,
                                 SchedulerContext& ctx) {
   Agent agent(&ctx.topology(), &ctx.estimator(), ctx.now());
+
+  // Thread budget for the round's data-parallel phases (probe, bid prep).
+  // Only the stateless clairvoyant estimator is safe off the main thread:
+  // kNoisy draws from the estimator's RNG on every probe and kCurveFit reads
+  // shared fit state, so their call *sequence* is part of the contract and
+  // they fall back to the serial loop regardless of the configured budget.
+  const bool stateless_estimator =
+      ctx.estimator().config().mode == EstimationMode::kClairvoyant;
+  const int round_threads =
+      stateless_estimator ? std::max(1, config_.auction_threads) : 1;
 
   // Steps 1-2: probe for rho, sort worst-off first, keep the top 1-f
   // fraction (Fig. 3, steps 1-2). The comparator is a strict total order
@@ -46,11 +56,16 @@ GrantSet ThemisPolicy::RunRound(const ResourceOffer& offer,
     // The gangless hungry class sits pre-ordered in the index with
     // last_rho pinned to the kUnboundedRho constant the probe would return.
     index->SetTiebreak(short_first);
+    const std::vector<AppState*>& holders = index->holders();
+    // Probe phase: each slot touches only its own app, so the parallel probe
+    // stores the exact values the serial ascending loop would.
+    ParallelFor(holders.size(), round_threads,
+                [&](std::size_t i) {
+                  holders[i]->last_rho = agent.CurrentRho(*holders[i]);
+                });
     std::vector<AppState*> bounded;
-    for (AppState* app : index->holders()) {
-      app->last_rho = agent.CurrentRho(*app);
+    for (AppState* app : holders)
       if (app->UnmetDemand() > 0) bounded.push_back(app);
-    }
     const std::size_t num_candidates =
         bounded.size() + index->num_unbounded();
     if (num_candidates == 0) return ctx.TakeGrants();
@@ -72,11 +87,13 @@ GrantSet ThemisPolicy::RunRound(const ResourceOffer& offer,
     }
   } else {
     // Literal filter: probe every active app, sort the full candidate set.
+    const AppList& apps = ctx.apps();
+    ParallelFor(apps.size(), round_threads, [&](std::size_t i) {
+      apps[i]->last_rho = agent.CurrentRho(*apps[i]);
+    });
     std::vector<AppState*> candidates;
-    for (AppState* app : ctx.apps()) {
-      app->last_rho = agent.CurrentRho(*app);
+    for (AppState* app : apps)
       if (app->UnmetDemand() > 0) candidates.push_back(app);
-    }
     if (candidates.empty()) return ctx.TakeGrants();
     std::stable_sort(candidates.begin(), candidates.end(), worse);
     const int n_offer = offer_count(candidates.size());
@@ -90,13 +107,24 @@ GrantSet ThemisPolicy::RunRound(const ResourceOffer& offer,
   const std::vector<int>& offered = offer.free_per_machine;
   const std::vector<GpuId>& free_gpus = offer.gpus;
 
-  std::vector<AgentBid> bids;
-  std::vector<BidTable> tables;
-  bids.reserve(participants.size());
-  for (AppState* app : participants) {
-    bids.push_back(agent.PrepareBid(*app, free_gpus, config_.max_bid_rows));
-    tables.push_back(bids.back().table);
-  }
+  // Bids are independent by construction — each AGENT values the same offer
+  // against only its own app state — so preparation fans out over the pool.
+  // Every worker writes only its pre-sized bids[i] slot, making the merged
+  // sequence position-identical to the serial loop at any thread count.
+  // Bid prep dominates the round, so grain 1 lets the pool balance the
+  // unevenly sized valuation tables.
+  std::vector<AgentBid> bids(participants.size());
+  ParallelFor(
+      participants.size(), round_threads,
+      [&](std::size_t i) {
+        bids[i] = agent.PrepareBid(*participants[i], free_gpus,
+                                   config_.max_bid_rows);
+      },
+      /*grain=*/1);
+  // The solver borrows the tables in place — no per-bid copy.
+  std::vector<const BidTable*> tables;
+  tables.reserve(bids.size());
+  for (const AgentBid& bid : bids) tables.push_back(&bid.table);
 
   // Step 4: partial allocation with hidden payments.
   const PaResult pa = PartialAllocation(tables, offered, config_.pa);
@@ -112,14 +140,28 @@ GrantSet ThemisPolicy::RunRound(const ResourceOffer& offer,
   std::vector<bool> still_free(ctx.topology().num_gpus(), false);
   for (GpuId g : free_gpus) still_free[g] = true;
 
+  // Per-machine preference buckets, allocated once and reused across
+  // winners; only the machines a winner's bid row touched are cleared
+  // between iterations, so the per-winner hot path allocates nothing.
+  // Within a bucket the bid row's GPU order is preserved and machines are
+  // visited ascending by the granted loop — the same visit order the old
+  // per-winner std::map produced.
+  std::vector<std::vector<GpuId>> preferred(ctx.topology().num_machines());
+  std::vector<MachineId> touched;
+  touched.reserve(ctx.topology().num_machines());
+
   for (std::size_t i = 0; i < pa.winners.size(); ++i) {
     const PaWinner& w = pa.winners[i];
     if (w.row == 0) continue;  // zero row: no new allocation this round
     AppState* app = participants[i];
 
-    std::map<MachineId, std::vector<GpuId>> preferred;
-    for (GpuId g : bids[i].row_gpus[w.row])
-      preferred[ctx.topology().gpu(g).machine].push_back(g);
+    for (MachineId m : touched) preferred[m].clear();
+    touched.clear();
+    for (GpuId g : bids[i].row_gpus[w.row]) {
+      const MachineId m = ctx.topology().gpu(g).machine;
+      if (preferred[m].empty()) touched.push_back(m);
+      preferred[m].push_back(g);
+    }
 
     std::vector<GpuId> concrete;
     for (MachineId m = 0; m < static_cast<MachineId>(w.granted.size()); ++m) {
@@ -132,8 +174,7 @@ GrantSet ThemisPolicy::RunRound(const ResourceOffer& offer,
           --need;
         }
       };
-      if (auto it = preferred.find(m); it != preferred.end())
-        for (GpuId g : it->second) take(g);
+      for (GpuId g : preferred[m]) take(g);
       for (GpuId g : ctx.topology().machine_gpus(m)) {
         if (need == 0) break;
         if (ctx.free_pool().Contains(g)) take(g);

@@ -50,6 +50,15 @@ struct ThemisConfig {
   /// the literal scan (the `themis_cli --no-incremental-filter` bisect
   /// hatch). Contexts without an index always take the literal scan.
   bool incremental_filter = true;
+  /// Thread budget for the round's embarrassingly parallel phases — the rho
+  /// probe over GPU holders and per-participant bid preparation (each worker
+  /// writes only its own app / its own pre-sized bids[i] slot, so results are
+  /// bit-identical to the serial loop at any thread count). 0 or 1 = serial;
+  /// >= 2 = run on the shared process pool (common/parallel.h). The parallel
+  /// path engages only under the stateless kClairvoyant estimator; kNoisy /
+  /// kCurveFit share RNG / fit state whose draw order the serial loop
+  /// defines, so those modes silently fall back to serial.
+  int auction_threads = 0;
   PaConfig pa;
 };
 

@@ -1,12 +1,12 @@
 #include "sim/experiment.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <stdexcept>
 #include <thread>
 
+#include "common/parallel.h"
 #include "baselines/drf.h"
 #include "baselines/gandiva.h"
 #include "baselines/slaq.h"
@@ -93,13 +93,24 @@ ExperimentResult Summarize(const ExperimentConfig& config, SimResult run) {
   return result;
 }
 
+/// SimConfig::round_threads is the engine-level knob (what the CLI and
+/// scenario JSON set); ThemisConfig::auction_threads is what the policy
+/// reads. A non-zero engine knob wins so one setting configures the run.
+ThemisConfig FoldRoundThreads(const ExperimentConfig& config) {
+  ThemisConfig themis = config.themis;
+  if (config.sim.round_threads != 0)
+    themis.auction_threads = config.sim.round_threads;
+  return themis;
+}
+
 }  // namespace
 
 ExperimentResult RunExperimentWithApps(const ExperimentConfig& config,
                                        std::vector<AppSpec> apps,
                                        Simulator::RoundObserver round_observer) {
   Simulator sim(config.cluster, std::move(apps),
-                MakePolicy(config.policy, config.themis), config.sim);
+                MakePolicy(config.policy, FoldRoundThreads(config)),
+                config.sim);
   if (round_observer) sim.set_round_observer(std::move(round_observer));
   return Summarize(config, sim.Run());
 }
@@ -109,7 +120,8 @@ ExperimentResult RunStreamingExperiment(const ExperimentConfig& config,
   SimConfig sim_config = config.sim;
   sim_config.retire_finished_apps = true;
   Simulator sim(config.cluster, std::move(trace),
-                MakePolicy(config.policy, config.themis), sim_config);
+                MakePolicy(config.policy, FoldRoundThreads(config)),
+                sim_config);
   return Summarize(config, sim.Run());
 }
 
@@ -171,25 +183,15 @@ void RunParallel(std::size_t n, const std::function<void(std::size_t)>& fn,
                  int num_threads) {
   if (n == 0) return;
 
-  // Each worker claims the next unstarted index; callers write into
-  // per-index slots, so results are independent of scheduling order.
-  std::atomic<std::size_t> next{0};
-  auto worker = [&]() {
-    for (std::size_t i; (i = next.fetch_add(1)) < n;) fn(i);
-  };
-
+  // Runs on the shared process pool (common/parallel.h) instead of spawning
+  // a thread per call. Grain 1 keeps the historical behaviour: each executor
+  // claims the next unstarted index, and callers write into per-index slots,
+  // so results are independent of scheduling order.
   int threads = num_threads > 0
                     ? num_threads
                     : static_cast<int>(std::thread::hardware_concurrency());
   threads = std::max(1, std::min<int>(threads, static_cast<int>(n)));
-  if (threads == 1) {
-    worker();
-    return;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+  ParallelFor(n, threads, fn, /*grain=*/1);
 }
 
 std::vector<ScenarioRun> SweepRunner::Run(

@@ -138,9 +138,10 @@ std::vector<ScenarioSpec> PolicySeedGrid(const ExperimentConfig& base,
                                          const std::vector<PolicyKind>& policies,
                                          const std::vector<std::uint64_t>& seeds);
 
-/// The sweep thread pool: run `fn(0..n-1)` across up to `num_threads`
-/// workers (0 = hardware concurrency), each claiming the next unstarted
-/// index. Shared by SweepRunner (scenario grids) and ShardedArbiter
+/// Run `fn(0..n-1)` across up to `num_threads` executors (0 = hardware
+/// concurrency) on the shared process pool (common/parallel.h), each
+/// claiming the next unstarted index — no threads are spawned per call.
+/// Shared by SweepRunner (scenario grids) and ShardedArbiter
 /// (parallel shard rounds); callers write results into per-index slots, so
 /// the outcome is independent of scheduling order.
 void RunParallel(std::size_t n, const std::function<void(std::size_t)>& fn,

@@ -170,7 +170,8 @@ void ApplySim(const JsonValue& v, SimConfig& sim) {
   CheckKeys(v, "sim",
             {"seed", "lease_minutes", "restart_overhead_minutes", "max_time",
              "machine_mtbf_minutes", "machine_repair_minutes", "theta",
-             "engine", "auction_epsilon_minutes", "metrics_tick_minutes"});
+             "engine", "auction_epsilon_minutes", "metrics_tick_minutes",
+             "round_threads"});
   if (const JsonValue* engine = v.Find("engine")) {
     const std::string name = engine->AsString();
     if (name == "event")
@@ -185,6 +186,7 @@ void ApplySim(const JsonValue& v, SimConfig& sim) {
       v.NumberOr("auction_epsilon_minutes", sim.auction_epsilon_minutes);
   sim.metrics_tick_minutes =
       v.NumberOr("metrics_tick_minutes", sim.metrics_tick_minutes);
+  sim.round_threads = IntKnob(v, "round_threads", sim.round_threads, "sim");
   // See ApplyTrace: never round-trip the default seed through a double.
   if (const JsonValue* seed = v.Find("seed"))
     sim.seed = SeedFromJson(*seed, "sim");

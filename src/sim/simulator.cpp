@@ -51,6 +51,9 @@ void SimConfig::Validate() const {
     throw std::invalid_argument(
         "SimConfig: metrics_tick_minutes must be >= 0 (got " +
         std::to_string(metrics_tick_minutes) + ")");
+  if (round_threads < 0)
+    throw std::invalid_argument("SimConfig: round_threads must be >= 0 (got " +
+                                std::to_string(round_threads) + ")");
 }
 
 Simulator::Simulator(ClusterSpec cluster_spec, std::vector<AppSpec> specs,

@@ -100,6 +100,14 @@ struct SimConfig {
   /// and never span idle stretches, so sparse traces still jump gaps.
   Time metrics_tick_minutes = 0.0;
 
+  /// Thread budget for the ARBITER round's data-parallel phases (probe and
+  /// bid preparation): 0 or 1 runs the round serially, >= 2 fans those
+  /// phases out over the shared process pool. Folded into
+  /// ThemisConfig::auction_threads by the experiment runners; results are
+  /// bit-identical at any value (see common/parallel.h). Baseline policies
+  /// ignore it. Negative values are rejected by Validate().
+  int round_threads = 0;
+
   /// Reject configurations that would silently produce nonsense runs
   /// (non-positive lease, negative overhead, ...). Throws
   /// std::invalid_argument naming the offending knob; called by the

@@ -53,7 +53,7 @@ TEST(BidRow, ValueIsReciprocalRho) {
 }
 
 TEST(PartialAllocation, EmptyBidsLeaveEverything) {
-  const PaResult r = PartialAllocation({}, {4, 4});
+  const PaResult r = PartialAllocation(std::vector<BidTable>{}, {4, 4});
   EXPECT_TRUE(r.winners.empty());
   EXPECT_EQ(r.leftover, (std::vector<int>{4, 4}));
 }
